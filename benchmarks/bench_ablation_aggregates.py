@@ -1,0 +1,25 @@
+"""Ablation E-X7 — sampled population aggregates vs memory budget.
+
+The aggregate layer (Table 2's "average …" statistics) answers from a
+distinct sample; this bench sweeps the counter budget to show how the
+effective sample size, the mean-statistic error, and the scaled population
+count degrade as memory shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_aggregate_ablation
+
+
+def test_aggregate_ablation(benchmark, save_artifact):
+    table = benchmark.pedantic(
+        run_aggregate_ablation,
+        kwargs=dict(num_itemsets=5000, budgets=(256, 1024, 4096), trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablation_aggregates", table)
+    # Errors must shrink (weakly) as the budget grows.
+    data_rows = [row for row in table.splitlines()[3:] if "|" in row]
+    count_errors = [float(row.split("|")[-1]) for row in data_rows]
+    assert count_errors[-1] <= count_errors[0]

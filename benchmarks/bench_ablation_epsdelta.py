@@ -1,0 +1,20 @@
+"""Ablation E-X4 — (eps, delta) boosting via median-of-groups (§4.7).
+
+Measures mean and worst-case relative error of a single 64-bitmap estimator
+against the median over independent groups, demonstrating the confidence
+amplification the paper invokes for its (eps, delta) guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_epsdelta_ablation
+
+
+def test_epsdelta_ablation(benchmark, save_artifact):
+    table = benchmark.pedantic(
+        run_epsdelta_ablation,
+        kwargs=dict(cardinality=1000, fraction=0.5, groups=9, trials=9),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablation_epsdelta", table)

@@ -1,0 +1,26 @@
+"""Ablation E-X1 — fringe sizing vs the minimum estimable count (§4.3.2-3).
+
+Sweeps the fringe size over streams whose non-implication count crosses the
+``2**-F * F0`` floor, demonstrating (a) the clamping regime for undersized
+fringes and (b) that F=4 suffices for every count above ``F0/16`` — the
+paper's justification for its default.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fringe_ablation
+
+
+def test_fringe_ablation(benchmark, save_artifact):
+    table = benchmark.pedantic(
+        run_fringe_ablation,
+        kwargs=dict(
+            cardinality=2000,
+            fractions=(0.02, 0.05, 0.2, 0.5, 0.9),
+            fringe_sizes=(2, 4, 8),
+            trials=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablation_fringe", table)

@@ -1,0 +1,31 @@
+"""Ablation E-X5 — hash families under the NIPS placement rule.
+
+NIPS placement consumes the hash's *low* bits (routing plus
+least-significant-1-bit position), so only full-avalanche or
+high-independence families qualify.  This bench quantifies the default
+(splitmix) against polynomial k-wise and tabulation hashing — and records
+how badly the classic 2-universal multiply-shift scheme fails here (its
+guarantee lives in the high bits; its low bits are nearly linear in the
+input, which wrecks the geometric cell distribution Lemma 1 assumes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_hash_family_ablation
+
+
+def test_hash_family_ablation(benchmark, save_artifact):
+    table = benchmark.pedantic(
+        run_hash_family_ablation,
+        kwargs=dict(cardinality=1000, fraction=0.5, trials=6),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablation_hashes", table)
+    # The qualitative finding must hold: splitmix beats multiply-shift by a
+    # wide margin under lsb-driven placement.
+    lines = {
+        row.split("|")[0].strip(): float(row.split("|")[1])
+        for row in table.splitlines()[3:]
+    }
+    assert lines["splitmix"] < lines["multiply-shift"] / 2

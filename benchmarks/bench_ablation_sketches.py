@@ -1,0 +1,22 @@
+"""Ablation E-X3 — F0 sketch substrates at equal budget (§4.1 context).
+
+Compares the accuracy of FM/PCSA (the substrate NIPS builds on) against
+LogLog, HyperLogLog and KMV on plain distinct counting.  Max-register and
+k-minimum sketches cannot host the floating fringe (they have no cells in
+which to postpone decisions), so this quantifies what the bitmap's
+fringe-compatibility costs in raw F0 accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_sketch_comparison
+
+
+def test_sketch_comparison(benchmark, save_artifact):
+    table = benchmark.pedantic(
+        run_sketch_comparison,
+        kwargs=dict(distinct=50_000, trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("ablation_sketches", table)

@@ -1,0 +1,29 @@
+"""Figure 5 — Dataset One accuracy, one-to-2 implications (c = 2).
+
+Same sweep as Figure 4 with c = 2 (maximum multiplicity and top-confidence
+arity follow the Section 6.1 recipe).  Paper reference: error 0.05-0.10,
+bounded fringe ~= unbounded fringe.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import scale_settings
+from repro.experiments import format_figure, run_dataset_one_figure
+
+
+def test_figure5_dataset_one_c2(benchmark, save_artifact):
+    settings = scale_settings()
+
+    def run():
+        return run_dataset_one_figure(c=2, settings=settings)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact("figure5", format_figure(points, "Figure 5"))
+    for point in points:
+        if point.implied_count >= 0.25 * point.cardinality:
+            assert point.bounded.mean < 0.40, point
+        else:
+            # Section 4.7.2: relative error is unbounded for implication
+            # counts close to zero (S is the difference of two estimates);
+            # the paper excludes that regime from its guarantees.
+            assert point.bounded.mean < 1.0, point

@@ -1,0 +1,102 @@
+"""Ablation E-X2 — per-tuple processing cost (§4.6).
+
+True pytest-benchmark microbenchmarks of the ingest paths: the paper's
+constrained-environment claim is that NIPS does O(K log K) work per tuple
+worst-case and O(1) for Zone-1 hits.  Compares:
+
+* NIPS/CI scalar updates (hash + zone check per tuple),
+* NIPS/CI vectorized batch updates,
+* exact hash-table counting,
+* Distinct Sampling and ILC updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.distinct_sampling import DistinctSamplingImplicationCounter
+from repro.baselines.exact import ExactImplicationCounter
+from repro.baselines.lossy_counting import ImplicationLossyCounting
+from repro.core.estimator import ImplicationCountEstimator
+from repro.datasets.synthetic import generate_dataset_one
+
+
+@pytest.fixture(scope="module")
+def stream():
+    data = generate_dataset_one(2000, 1000, c=2, seed=0)
+    return data
+
+
+def test_nips_scalar_updates(benchmark, stream):
+    pairs = list(zip(stream.lhs[:20_000].tolist(), stream.rhs[:20_000].tolist()))
+
+    def ingest():
+        estimator = ImplicationCountEstimator(stream.conditions, seed=1)
+        for a, b in pairs:
+            estimator.update(a, b)
+        return estimator
+
+    estimator = benchmark(ingest)
+    assert estimator.tuples_seen == len(pairs)
+
+
+def test_nips_batch_updates(benchmark, stream):
+    lhs = stream.lhs
+    rhs = stream.rhs
+
+    def ingest():
+        estimator = ImplicationCountEstimator(stream.conditions, seed=1)
+        estimator.update_batch(lhs, rhs)
+        return estimator
+
+    estimator = benchmark(ingest)
+    assert estimator.tuples_seen == len(lhs)
+
+
+def test_exact_updates(benchmark, stream):
+    lhs = stream.lhs[:50_000]
+    rhs = stream.rhs[:50_000]
+
+    def ingest():
+        counter = ExactImplicationCounter(stream.conditions)
+        counter.update_batch(lhs, rhs)
+        return counter
+
+    counter = benchmark(ingest)
+    assert counter.tuples_seen == len(lhs)
+
+
+def test_distinct_sampling_updates(benchmark, stream):
+    lhs = stream.lhs[:50_000]
+    rhs = stream.rhs[:50_000]
+
+    def ingest():
+        counter = DistinctSamplingImplicationCounter(stream.conditions, seed=1)
+        counter.update_batch(lhs, rhs)
+        return counter
+
+    counter = benchmark(ingest)
+    assert counter.tuples_seen == len(lhs)
+
+
+def test_ilc_updates(benchmark, stream):
+    lhs = stream.lhs[:20_000]
+    rhs = stream.rhs[:20_000]
+
+    def ingest():
+        counter = ImplicationLossyCounting(stream.conditions, epsilon=0.01)
+        counter.update_batch(lhs, rhs)
+        return counter
+
+    counter = benchmark(ingest)
+    assert counter.tuples_seen == len(lhs)
+
+
+def test_ci_readout_cost(benchmark, stream):
+    """Algorithm 2 runs at query time; it must be cheap enough to call
+    per-query (scans m bitmaps)."""
+    estimator = ImplicationCountEstimator(stream.conditions, seed=1)
+    estimator.update_batch(stream.lhs, stream.rhs)
+    result = benchmark(estimator.implication_count)
+    assert result >= 0.0

@@ -1,0 +1,39 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one paper artifact (table or figure) as an ASCII
+table, saves it under ``benchmarks/results/`` and prints it, then times the
+underlying computation with pytest-benchmark (single round — these are
+experiment harnesses, not microbenchmarks; the microbenchmarks live in
+``bench_throughput.py``).
+
+Sizing comes from ``REPRO_SCALE`` / ``REPRO_TRIALS`` (quick | medium | full;
+see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Persist a bench's artifact and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        print(f"[saved to {path}]")
+
+    return _save

@@ -1,0 +1,18 @@
+"""Experiment harness: error metrics, trial runner, plain-text reporting."""
+
+from .errors import ErrorSummary, relative_error, summarize_errors
+from .experiments import ScaleSettings, TrialOutcome, run_trials, scale_settings
+from .reporting import banner, format_series, format_table
+
+__all__ = [
+    "ErrorSummary",
+    "relative_error",
+    "summarize_errors",
+    "ScaleSettings",
+    "TrialOutcome",
+    "run_trials",
+    "scale_settings",
+    "banner",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,67 @@
+"""Error metrics used by every experiment (Section 6.1's formulas).
+
+The paper reports the *mean relative error* over one hundred repetitions,
+with error bars showing the standard deviation of that mean:
+
+    relative error = |actual S - measured S| / actual S
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["relative_error", "ErrorSummary", "summarize_errors"]
+
+
+def relative_error(actual: float, measured: float) -> float:
+    """``|actual - measured| / actual`` (Section 6.1).
+
+    An actual value of zero with a nonzero measurement is reported as
+    infinity — the paper's Section 4.7.2 caveat that relative error is
+    unbounded for counts near zero.
+    """
+    if actual == 0:
+        return 0.0 if measured == 0 else math.inf
+    return abs(actual - measured) / abs(actual)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean / deviation / extremes of a batch of relative errors."""
+
+    mean: float
+    deviation: float
+    minimum: float
+    maximum: float
+    trials: int
+
+    @property
+    def deviation_of_mean(self) -> float:
+        """Standard deviation of the *mean* (the paper's error bars)."""
+        if self.trials <= 1:
+            return 0.0
+        return self.deviation / math.sqrt(self.trials)
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Aggregate per-trial relative errors into an :class:`ErrorSummary`."""
+    if not errors:
+        raise ValueError("need at least one error value")
+    finite = [e for e in errors if math.isfinite(e)]
+    if not finite:
+        return ErrorSummary(math.inf, 0.0, math.inf, math.inf, len(errors))
+    mean = sum(finite) / len(finite)
+    if len(finite) > 1:
+        variance = sum((e - mean) ** 2 for e in finite) / (len(finite) - 1)
+        deviation = math.sqrt(variance)
+    else:
+        deviation = 0.0
+    return ErrorSummary(
+        mean=mean,
+        deviation=deviation,
+        minimum=min(finite),
+        maximum=max(finite),
+        trials=len(errors),
+    )

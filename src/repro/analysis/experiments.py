@@ -1,0 +1,116 @@
+"""Experiment harness: repeated randomized trials with aggregated errors.
+
+Every figure of the paper is "run one hundred such experiments and plot the
+mean relative error with deviation bars".  :func:`run_trials` is that loop,
+generic over a trial function; :func:`scale_settings` centralizes the
+scaled-down-vs-paper-faithful grid switching used by the benches (see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .errors import ErrorSummary, relative_error, summarize_errors
+
+__all__ = ["TrialOutcome", "run_trials", "scale_settings", "ScaleSettings"]
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One randomized trial: the true value and an estimator's answer."""
+
+    actual: float
+    measured: float
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.actual, self.measured)
+
+
+def run_trials(
+    trial: Callable[[int], TrialOutcome],
+    trials: int,
+    base_seed: int = 0,
+) -> ErrorSummary:
+    """Run ``trial(seed)`` for ``trials`` independent seeds; summarize errors.
+
+    Seeds are spaced deterministically so a failing configuration can be
+    replayed with the exact same randomness.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    errors = []
+    for index in range(trials):
+        outcome = trial(base_seed + 1_000_003 * index)
+        errors.append(outcome.error)
+    return summarize_errors(errors)
+
+
+@dataclass(frozen=True)
+class ScaleSettings:
+    """Knobs resolved from the environment for bench sizing.
+
+    * ``REPRO_SCALE`` — ``"quick"`` (default), ``"medium"`` or ``"full"``
+      (the paper-faithful grid; hours in pure Python).
+    * ``REPRO_TRIALS`` — override the per-point trial count.
+    """
+
+    name: str
+    trials: int
+    cardinalities: Sequence[int]
+    fractions: Sequence[float]
+    olap_tuples: int
+
+    @property
+    def is_full(self) -> bool:
+        return self.name == "full"
+
+
+_PRESETS = {
+    # Paper: trials=100, |A| up to 100k, counts at 10%..90% of |A|,
+    # OLAP stream of 5.38M tuples.
+    "quick": ScaleSettings(
+        name="quick",
+        trials=5,
+        cardinalities=(100, 1000),
+        fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
+        olap_tuples=250_000,
+    ),
+    "medium": ScaleSettings(
+        name="medium",
+        trials=20,
+        cardinalities=(100, 1000, 10_000),
+        fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        olap_tuples=1_000_000,
+    ),
+    "full": ScaleSettings(
+        name="full",
+        trials=100,
+        cardinalities=(100, 1000, 10_000, 100_000),
+        fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        olap_tuples=5_381_203,
+    ),
+}
+
+
+def scale_settings(default: str = "quick") -> ScaleSettings:
+    """Resolve bench sizing from ``REPRO_SCALE`` / ``REPRO_TRIALS``."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    if name not in _PRESETS:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_PRESETS)}, got {name!r}"
+        )
+    settings = _PRESETS[name]
+    trials_override = os.environ.get("REPRO_TRIALS")
+    if trials_override:
+        settings = ScaleSettings(
+            name=settings.name,
+            trials=max(1, int(trials_override)),
+            cardinalities=settings.cardinalities,
+            fractions=settings.fractions,
+            olap_tuples=settings.olap_tuples,
+        )
+    return settings

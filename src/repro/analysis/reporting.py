@@ -1,0 +1,75 @@
+"""Plain-text reporting: the tables and series the benches print.
+
+Every bench regenerates its paper artifact as an ASCII table — the same
+rows/series the figure plots — so results can be diffed against the paper
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned; floats are rendered with four significant
+    digits unless pre-formatted as strings by the caller.
+    """
+    rendered_rows = [[_render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], unit: str = ""
+) -> str:
+    """Render an (x, y) series as two aligned columns under a name."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    suffix = f" [{unit}]" if unit else ""
+    lines = [f"{name}{suffix}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_render(x):>12}  {_render(y):>12}")
+    return "\n".join(lines)
+
+
+def banner(text: str, width: int = 72) -> str:
+    """A section banner used between bench stages."""
+    bar = "=" * width
+    return f"{bar}\n{text}\n{bar}"

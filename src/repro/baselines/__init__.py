@@ -1,0 +1,24 @@
+"""Comparator algorithms: exact reference, DS, (I)LC and (I)SS.
+
+These are the algorithms the paper evaluates NIPS/CI against in Sections 5
+and 6.2 — each shares the ``update`` / ``implication_count`` /
+``nonimplication_count`` / ``supported_distinct_count`` interface so the
+experiment harness can swap them freely.
+"""
+
+from .distinct_sampling import DistinctSamplingImplicationCounter
+from .heavy_hitters import HeavyHitterImplicationCounter, SpaceSaving
+from .exact import ExactImplicationCounter
+from .lossy_counting import ImplicationLossyCounting, LossyCounting
+from .sticky_sampling import ImplicationStickySampling, StickySampling
+
+__all__ = [
+    "ExactImplicationCounter",
+    "DistinctSamplingImplicationCounter",
+    "LossyCounting",
+    "ImplicationLossyCounting",
+    "StickySampling",
+    "ImplicationStickySampling",
+    "SpaceSaving",
+    "HeavyHitterImplicationCounter",
+]

@@ -1,0 +1,168 @@
+"""Heavy hitters (Space-Saving) and a heavy-hitter implication counter.
+
+Section 1: "The same stands for the class of heavy hitters, which
+identifies the set of objects whose frequency of appearance is above a
+given threshold.  The cumulative effect of many objects whose frequency of
+appearance is less than the given threshold may overwhelm the implication
+statistics although these objects are not identified."
+
+To let the benches demonstrate that claim concretely, this module provides
+
+* :class:`SpaceSaving` — Metwally et al.'s deterministic top-k counter
+  (every item with true frequency above ``T / k`` is guaranteed tracked);
+* :class:`HeavyHitterImplicationCounter` — the obvious (and, per the
+  paper, inadequate) approach of answering implication queries from the
+  heavy-hitter table only: per tracked LHS itemset keep implication state,
+  report how many tracked itemsets qualify.  Everything outside the top-k
+  — exactly the long tail whose cumulative count the paper cares about —
+  is invisible to it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..core.conditions import ImplicationConditions
+from ..core.tracker import ItemsetState
+
+__all__ = ["SpaceSaving", "HeavyHitterImplicationCounter"]
+
+
+class SpaceSaving:
+    """Space-Saving top-k frequency counting.
+
+    Keeps exactly ``k`` (item, count, error) entries; on a miss the minimum
+    entry is evicted and its count inherited (the classic guarantee:
+    ``estimate - error <= true <= estimate``, and any item with true count
+    above ``T / k`` is present).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        # item -> [count, error]
+        self._entries: dict[Hashable, list[int]] = {}
+        self.total = 0
+
+    def add(self, item: Hashable, count: int = 1) -> bool:
+        """Record ``item``; returns True when it is (now) tracked fresh
+        (i.e. it replaced an evicted entry or was newly inserted)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.total += count
+        entry = self._entries.get(item)
+        if entry is not None:
+            entry[0] += count
+            return False
+        if len(self._entries) < self.k:
+            self._entries[item] = [count, 0]
+            return True
+        victim = min(self._entries, key=lambda key: self._entries[key][0])
+        floor = self._entries.pop(victim)[0]
+        self._entries[item] = [floor + count, floor]
+        return True
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def estimate(self, item: Hashable) -> int:
+        entry = self._entries.get(item)
+        return entry[0] if entry is not None else 0
+
+    def guaranteed(self, item: Hashable) -> int:
+        """Lower bound on the true count (estimate minus inherited error)."""
+        entry = self._entries.get(item)
+        return entry[0] - entry[1] if entry is not None else 0
+
+    def heavy_hitters(self, support: float) -> list[Hashable]:
+        """Items *guaranteed* to exceed ``support * total``."""
+        threshold = support * self.total
+        return [
+            item
+            for item, (count, error) in self._entries.items()
+            if count - error > threshold
+        ]
+
+    def tracked(self) -> list[Hashable]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"SpaceSaving(k={self.k}, total={self.total})"
+
+
+class HeavyHitterImplicationCounter:
+    """Answer implication counts from a heavy-hitter table (inadequately).
+
+    Tracks the top-``k`` LHS itemsets with Space-Saving; each tracked
+    itemset carries an :class:`ItemsetState` *started from its admission*
+    (history before admission, and after eviction, is lost — the structural
+    reason frequency summaries cannot host sticky implication semantics).
+    The reported count is the number of currently-tracked itemsets that
+    qualify: no extrapolation to the untracked tail is possible, so the
+    estimate collapses whenever implications live among infrequent
+    itemsets — the bench ``E-X6`` scenario.
+    """
+
+    def __init__(self, conditions: ImplicationConditions, k: int = 640) -> None:
+        self.conditions = conditions
+        self.spacesaving = SpaceSaving(k)
+        self._states: dict[Hashable, ItemsetState] = {}
+        self.tuples_seen = 0
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        self.tuples_seen += weight
+        replaced = self.spacesaving.add(itemset, weight)
+        if replaced:
+            # Fresh admission: any prior state (pre-eviction) is gone.
+            self._states[itemset] = ItemsetState()
+            self._states = {
+                item: state
+                for item, state in self._states.items()
+                if item in self.spacesaving._entries
+            }
+        state = self._states.get(itemset)
+        if state is None:
+            state = self._states[itemset] = ItemsetState()
+        state.observe(partner, self.conditions, weight)
+
+    def update_batch(self, lhs: np.ndarray, rhs: np.ndarray) -> None:
+        for a, b in zip(np.asarray(lhs).tolist(), np.asarray(rhs).tolist()):
+            self.update(a, b)
+
+    def implication_count(self) -> float:
+        """Qualifying itemsets among the tracked top-k — no tail, no scaling."""
+        tau = self.conditions.min_support
+        return float(
+            sum(
+                1
+                for state in self._states.values()
+                if state.support >= tau and not state.violated
+            )
+        )
+
+    def nonimplication_count(self) -> float:
+        return float(sum(1 for state in self._states.values() if state.violated))
+
+    def supported_distinct_count(self) -> float:
+        tau = self.conditions.min_support
+        return float(
+            sum(1 for state in self._states.values() if state.support >= tau)
+        )
+
+    def entry_count(self) -> int:
+        return sum(state.counter_count() for state in self._states.values()) + len(
+            self.spacesaving._entries
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HeavyHitterImplicationCounter(k={self.spacesaving.k}, "
+            f"tracked={len(self._states)})"
+        )

@@ -1,0 +1,278 @@
+"""Lossy Counting (Manku & Motwani, VLDB 2002) and the paper's ILC extension.
+
+Section 5 extends frequent-itemset machinery to implication conditions in
+order to prove it *cannot* replace NIPS/CI:
+
+* :class:`LossyCounting` — the original deterministic frequency-count
+  synopsis: the stream is split into buckets of width ``w = ceil(1/eps)``;
+  an entry ``(item, count, delta)`` is created on first sight with maximal
+  error ``delta = b_current - 1`` and pruned at bucket boundaries when
+  ``count + delta <= b_current``.  Guarantees: estimated frequency
+  undercounts by at most ``eps * T``.
+* :class:`ImplicationLossyCounting` (ILC, Section 5.1) — samples entries for
+  both itemsets ``a`` and pairs ``(a, b)``.  When an itemset satisfies the
+  (relative!) minimum support but fails multiplicity or top-c confidence it
+  is marked **dirty** — it must stay in memory forever, and its pair entries
+  are deleted.  Non-dirty itemsets prune as usual.
+
+The two structural flaws the paper proves out (§5.1.1), both visible in the
+Figure 7 bench:
+
+1. dirty entries accumulate without bound (memory grows with the number of
+   violating itemsets, unlike the O(K) of NIPS);
+2. minimum support must be *relative* (``sigma_rel >= eps``), so as ``T``
+   grows the absolute support threshold ``sigma_rel * T`` rises and the
+   cumulative contribution of small implications is lost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..core.conditions import ImplicationConditions
+
+__all__ = ["LossyCounting", "ImplicationLossyCounting"]
+
+
+class LossyCounting:
+    """Classic lossy counting over single items.
+
+    Parameters
+    ----------
+    epsilon:
+        Approximation parameter; memory is ``O((1/eps) * log(eps * T))``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.bucket_width = math.ceil(1.0 / epsilon)
+        self.current_bucket = 1
+        self.tuples_seen = 0
+        # item -> (count, delta)
+        self._entries: dict[Hashable, tuple[int, int]] = {}
+
+    def update(self, item: Hashable) -> None:
+        self.tuples_seen += 1
+        entry = self._entries.get(item)
+        if entry is None:
+            self._entries[item] = (1, self.current_bucket - 1)
+        else:
+            self._entries[item] = (entry[0] + 1, entry[1])
+        if self.tuples_seen % self.bucket_width == 0:
+            self._prune()
+            self.current_bucket += 1
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.update(item)
+
+    def _prune(self) -> None:
+        bucket = self.current_bucket
+        self._entries = {
+            item: (count, delta)
+            for item, (count, delta) in self._entries.items()
+            if count + delta > bucket
+        }
+
+    def frequency(self, item: Hashable) -> int:
+        """Estimated count (undercounts by at most ``eps * T``)."""
+        entry = self._entries.get(item)
+        return entry[0] if entry is not None else 0
+
+    def frequent_items(self, support: float) -> list[Hashable]:
+        """Items with true frequency possibly >= ``support * T``."""
+        threshold = (support - self.epsilon) * self.tuples_seen
+        return [
+            item for item, (count, __) in self._entries.items() if count >= threshold
+        ]
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"LossyCounting(eps={self.epsilon}, entries={len(self._entries)})"
+
+
+class _ILCEntry:
+    """ILC per-itemset record: support, error bound, dirty flag, partners."""
+
+    __slots__ = ("support", "delta", "dirty", "partners")
+
+    def __init__(self, delta: int) -> None:
+        self.support = 0
+        self.delta = delta
+        self.dirty = False
+        # partner -> (count, delta); deleted wholesale when dirty.
+        self.partners: dict[Hashable, tuple[int, int]] | None = {}
+
+
+class ImplicationLossyCounting:
+    """ILC — Implication Lossy Counting (Section 5.1).
+
+    Parameters
+    ----------
+    conditions:
+        The multiplicity / top-c confidence conditions.  The *absolute*
+        ``min_support`` inside is ignored; ILC structurally requires a
+        relative support (see ``relative_support``) — this mismatch is one
+        of the paper's two arguments against the approach.
+    epsilon:
+        Lossy-counting approximation parameter; must satisfy
+        ``epsilon <= relative_support``.
+    relative_support:
+        ``sigma_rel``: an itemset "has support" when its estimated frequency
+        reaches ``sigma_rel * T``.
+    """
+
+    def __init__(
+        self,
+        conditions: ImplicationConditions,
+        epsilon: float = 0.01,
+        relative_support: float | None = None,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        relative_support = (
+            epsilon if relative_support is None else relative_support
+        )
+        if relative_support < epsilon:
+            raise ValueError(
+                f"relative_support ({relative_support}) must be >= epsilon "
+                f"({epsilon}) for the lossy-counting guarantee to hold"
+            )
+        self.conditions = conditions
+        self.epsilon = epsilon
+        self.relative_support = relative_support
+        self.bucket_width = math.ceil(1.0 / epsilon)
+        self.current_bucket = 1
+        self.tuples_seen = 0
+        self._entries: dict[Hashable, _ILCEntry] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        """Process one ``(a, b)`` tuple (Section 5.1 sampling rules)."""
+        for __ in range(weight):
+            self._update_one(itemset, partner)
+
+    def _update_one(self, itemset: Hashable, partner: Hashable) -> None:
+        self.tuples_seen += 1
+        entry = self._entries.get(itemset)
+        if entry is None:
+            entry = self._entries[itemset] = _ILCEntry(self.current_bucket - 1)
+        entry.support += 1
+        if not entry.dirty and entry.partners is not None:
+            pair = entry.partners.get(partner)
+            if pair is None:
+                entry.partners[partner] = (1, self.current_bucket - 1)
+            else:
+                entry.partners[partner] = (pair[0] + 1, pair[1])
+            self._check_conditions(entry)
+        if self.tuples_seen % self.bucket_width == 0:
+            self._prune()
+            self.current_bucket += 1
+
+    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        for itemset, partner in pairs:
+            self.update(itemset, partner)
+
+    def update_batch(self, lhs: np.ndarray, rhs: np.ndarray) -> None:
+        lhs = np.asarray(lhs)
+        rhs = np.asarray(rhs)
+        for a, b in zip(lhs.tolist(), rhs.tolist()):
+            self._update_one(a, b)
+
+    # ------------------------------------------------------------------ #
+
+    def _support_threshold(self) -> float:
+        return self.relative_support * self.tuples_seen
+
+    def _check_conditions(self, entry: _ILCEntry) -> None:
+        """Mark an entry dirty when it has support but fails a condition.
+
+        Mirrors Section 4.3.4 evaluated on the lossy counters: multiplicity
+        is the number of live pair entries, confidence comes from pair
+        supports over the itemset support.
+        """
+        if entry.support < self._support_threshold():
+            return
+        partners = entry.partners
+        if partners is None:
+            return
+        conditions = self.conditions
+        violated = False
+        if (
+            conditions.max_multiplicity is not None
+            and len(partners) > conditions.max_multiplicity
+        ):
+            violated = True
+        elif conditions.min_top_confidence > 0.0:
+            counts = sorted((count for count, __ in partners.values()), reverse=True)
+            mass = sum(counts[: conditions.top_c])
+            if mass / entry.support < conditions.min_top_confidence:
+                violated = True
+        if violated:
+            entry.dirty = True
+            entry.partners = None  # delete all pair entries for the itemset
+
+    def _prune(self) -> None:
+        """Bucket-boundary pruning of non-dirty entries (and their pairs)."""
+        bucket = self.current_bucket
+        survivors: dict[Hashable, _ILCEntry] = {}
+        for itemset, entry in self._entries.items():
+            if entry.dirty:
+                survivors[itemset] = entry  # dirty entries never leave
+                continue
+            if entry.support + entry.delta <= bucket:
+                continue
+            if entry.partners is not None:
+                entry.partners = {
+                    partner: (count, delta)
+                    for partner, (count, delta) in entry.partners.items()
+                    if count + delta > bucket
+                }
+            survivors[itemset] = entry
+        self._entries = survivors
+
+    # ------------------------------------------------------------------ #
+
+    def implicated_itemsets(self) -> list[Hashable]:
+        """Non-dirty itemsets with support — ILC's native (itemset) output."""
+        threshold = (self.relative_support - self.epsilon) * self.tuples_seen
+        return [
+            itemset
+            for itemset, entry in self._entries.items()
+            if not entry.dirty and entry.support >= threshold
+        ]
+
+    def implication_count(self) -> float:
+        return float(len(self.implicated_itemsets()))
+
+    def nonimplication_count(self) -> float:
+        return float(sum(1 for entry in self._entries.values() if entry.dirty))
+
+    def supported_distinct_count(self) -> float:
+        threshold = (self.relative_support - self.epsilon) * self.tuples_seen
+        return float(
+            sum(1 for entry in self._entries.values() if entry.support >= threshold)
+        )
+
+    def entry_count(self) -> int:
+        """Live entries (itemset plus pair) — the paper's memory complaint."""
+        total = 0
+        for entry in self._entries.values():
+            total += 1
+            if entry.partners is not None:
+                total += len(entry.partners)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicationLossyCounting(eps={self.epsilon}, "
+            f"entries={self.entry_count()})"
+        )

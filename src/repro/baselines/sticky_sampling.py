@@ -1,0 +1,234 @@
+"""Sticky Sampling (Manku & Motwani, VLDB 2002) and its implication variant.
+
+The probabilistic sibling of lossy counting.  Items are admitted to the
+sample with a rate ``1/r`` that halves as the stream grows: the first
+``2t`` tuples at rate 1, the next ``2t`` at rate 1/2, then ``4t`` at 1/4 …
+with ``t = (1/eps) * ln(1 / (support * delta))``.  On each rate change every
+sampled count is diminished by a geometric coin until a head shows, evicting
+entries whose count reaches zero.
+
+Section 5.1 notes the same implication extension applies as for lossy
+counting — entries for itemsets and pairs plus dirty-marking — "but the
+issue with the relative minimum support remains".
+:class:`ImplicationStickySampling` implements that extension so the benches
+can show it inherits both ILC flaws.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, Iterable
+
+from ..core.conditions import ImplicationConditions
+
+__all__ = ["StickySampling", "ImplicationStickySampling"]
+
+
+class StickySampling:
+    """Classic sticky sampling for frequent single items."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        support: float,
+        delta: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0.0 < support < 1.0:
+            raise ValueError(f"support must be in (0, 1), got {support}")
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        if epsilon > support:
+            raise ValueError(
+                f"epsilon ({epsilon}) must not exceed support ({support})"
+            )
+        self.epsilon = epsilon
+        self.support = support
+        self.delta = delta
+        self.t = math.ceil((1.0 / epsilon) * math.log(1.0 / (support * delta)))
+        self.sampling_rate = 1
+        self.tuples_seen = 0
+        self._rng = random.Random(seed)
+        self._counts: dict[Hashable, int] = {}
+        # Tuples after which the rate doubles: 2t at rate 1, 2t at rate 2,
+        # 4t at rate 4, 8t at rate 8, ... (Manku & Motwani's schedule).
+        self._next_rate_change = 2 * self.t
+
+    def update(self, item: Hashable) -> None:
+        self.tuples_seen += 1
+        if self.tuples_seen > self._next_rate_change:
+            self._double_rate()
+        if item in self._counts:
+            self._counts[item] += 1
+            return
+        if self._rng.randrange(self.sampling_rate) == 0:
+            self._counts[item] = 1
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.update(item)
+
+    def _double_rate(self) -> None:
+        self.sampling_rate *= 2
+        self._next_rate_change += 2 * self.t * self.sampling_rate // 2
+        survivors: dict[Hashable, int] = {}
+        for item, count in self._counts.items():
+            # Diminish by a geometric(1/2) number of failed coin tosses.
+            while count > 0 and self._rng.random() < 0.5:
+                count -= 1
+            if count > 0:
+                survivors[item] = count
+        self._counts = survivors
+
+    def frequency(self, item: Hashable) -> int:
+        return self._counts.get(item, 0)
+
+    def frequent_items(self, support: float | None = None) -> list[Hashable]:
+        support = self.support if support is None else support
+        threshold = (support - self.epsilon) * self.tuples_seen
+        return [item for item, count in self._counts.items() if count >= threshold]
+
+    def entry_count(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"StickySampling(rate=1/{self.sampling_rate}, "
+            f"entries={len(self._counts)})"
+        )
+
+
+class _ISSEntry:
+    __slots__ = ("support", "dirty", "partners")
+
+    def __init__(self) -> None:
+        self.support = 0
+        self.dirty = False
+        self.partners: dict[Hashable, int] | None = {}
+
+
+class ImplicationStickySampling:
+    """Sticky sampling extended with implication conditions (Section 5.1).
+
+    Same dirty-marking scheme as ILC over a sticky sample.  Dirty entries
+    survive rate changes undiminished (they must stay in memory), non-dirty
+    entries diminish as usual.
+    """
+
+    def __init__(
+        self,
+        conditions: ImplicationConditions,
+        epsilon: float = 0.01,
+        relative_support: float | None = None,
+        delta: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        relative_support = (
+            epsilon if relative_support is None else relative_support
+        )
+        self._sampler = StickySampling(epsilon, relative_support, delta, seed)
+        self.conditions = conditions
+        self.epsilon = epsilon
+        self.relative_support = relative_support
+        self._entries: dict[Hashable, _ISSEntry] = {}
+
+    @property
+    def tuples_seen(self) -> int:
+        return self._sampler.tuples_seen
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        for __ in range(weight):
+            self._update_one(itemset, partner)
+
+    def _update_one(self, itemset: Hashable, partner: Hashable) -> None:
+        sampler = self._sampler
+        sampler.tuples_seen += 1
+        if sampler.tuples_seen > sampler._next_rate_change:
+            sampler._double_rate()
+            self._diminish()
+        entry = self._entries.get(itemset)
+        if entry is None:
+            if sampler._rng.randrange(sampler.sampling_rate) != 0:
+                return
+            entry = self._entries[itemset] = _ISSEntry()
+        entry.support += 1
+        if not entry.dirty and entry.partners is not None:
+            entry.partners[partner] = entry.partners.get(partner, 0) + 1
+            self._check_conditions(entry)
+
+    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        for itemset, partner in pairs:
+            self.update(itemset, partner)
+
+    def _diminish(self) -> None:
+        rng = self._sampler._rng
+        survivors: dict[Hashable, _ISSEntry] = {}
+        for itemset, entry in self._entries.items():
+            if entry.dirty:
+                survivors[itemset] = entry
+                continue
+            count = entry.support
+            while count > 0 and rng.random() < 0.5:
+                count -= 1
+            if count > 0:
+                entry.support = count
+                survivors[itemset] = entry
+        self._entries = survivors
+
+    def _check_conditions(self, entry: _ISSEntry) -> None:
+        if entry.support < self.relative_support * self.tuples_seen:
+            return
+        partners = entry.partners
+        if partners is None:
+            return
+        conditions = self.conditions
+        violated = False
+        if (
+            conditions.max_multiplicity is not None
+            and len(partners) > conditions.max_multiplicity
+        ):
+            violated = True
+        elif conditions.min_top_confidence > 0.0:
+            counts = sorted(partners.values(), reverse=True)
+            mass = sum(counts[: conditions.top_c])
+            if mass / entry.support < conditions.min_top_confidence:
+                violated = True
+        if violated:
+            entry.dirty = True
+            entry.partners = None
+
+    def implication_count(self) -> float:
+        threshold = (self.relative_support - self.epsilon) * self.tuples_seen
+        return float(
+            sum(
+                1
+                for entry in self._entries.values()
+                if not entry.dirty and entry.support >= threshold
+            )
+        )
+
+    def nonimplication_count(self) -> float:
+        return float(sum(1 for entry in self._entries.values() if entry.dirty))
+
+    def supported_distinct_count(self) -> float:
+        threshold = (self.relative_support - self.epsilon) * self.tuples_seen
+        return float(
+            sum(1 for entry in self._entries.values() if entry.support >= threshold)
+        )
+
+    def entry_count(self) -> int:
+        total = 0
+        for entry in self._entries.values():
+            total += 1
+            if entry.partners is not None:
+                total += len(entry.partners)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicationStickySampling(rate=1/{self._sampler.sampling_rate}, "
+            f"entries={self.entry_count()})"
+        )

@@ -1,0 +1,127 @@
+"""``repro-experiments`` — run any paper artifact from the command line.
+
+Examples::
+
+    repro-experiments figure4            # Dataset One, c=1
+    repro-experiments figure7 --workload A
+    repro-experiments table4
+    repro-experiments ablation-fringe
+    REPRO_SCALE=medium repro-experiments figure5
+
+Every command prints the same table its pytest bench prints; sizing comes
+from ``REPRO_SCALE`` / ``REPRO_TRIALS`` (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.experiments import scale_settings
+from .analysis.reporting import banner
+from .experiments import (
+    format_figure,
+    format_table4,
+    format_workload_errors,
+    run_dataset_one_figure,
+    run_epsdelta_ablation,
+    run_fringe_ablation,
+    run_aggregate_ablation,
+    run_hash_family_ablation,
+    run_heavy_hitter_ablation,
+    run_sketch_comparison,
+    run_table4,
+    run_throughput,
+    run_workload,
+)
+
+__all__ = ["main"]
+
+_FIGURE_C = {"figure4": 1, "figure5": 2, "figure6": 4}
+
+
+def _run_figure(name: str) -> str:
+    settings = scale_settings()
+    points = run_dataset_one_figure(_FIGURE_C[name], settings)
+    return format_figure(points, name.capitalize())
+
+
+def _run_table4() -> str:
+    settings = scale_settings()
+    runs = run_table4(settings.olap_tuples)
+    return format_table4(runs, settings.olap_tuples)
+
+
+def _run_figure7(workload: str) -> str:
+    settings = scale_settings()
+    runs = []
+    for min_support in (5, 50):
+        for theta in (0.6, 0.8):
+            runs.append(
+                run_workload(
+                    workload,
+                    settings.olap_tuples,
+                    min_support=min_support,
+                    min_top_confidence=theta,
+                )
+            )
+    return format_workload_errors(runs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "figure4",
+            "figure5",
+            "figure6",
+            "table4",
+            "figure7",
+            "ablation-fringe",
+            "ablation-sketches",
+            "ablation-epsdelta",
+            "ablation-heavyhitters",
+            "ablation-hashes",
+            "ablation-aggregates",
+            "throughput",
+            "all",
+        ],
+        help="which paper artifact (or ablation) to regenerate",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["A", "B"],
+        default="A",
+        help="OLAP workload for figure7 (default: A)",
+    )
+    args = parser.parse_args(argv)
+
+    commands = {
+        "figure4": lambda: _run_figure("figure4"),
+        "figure5": lambda: _run_figure("figure5"),
+        "figure6": lambda: _run_figure("figure6"),
+        "table4": _run_table4,
+        "figure7": lambda: _run_figure7(args.workload),
+        "ablation-fringe": run_fringe_ablation,
+        "ablation-sketches": run_sketch_comparison,
+        "ablation-epsdelta": run_epsdelta_ablation,
+        "ablation-heavyhitters": run_heavy_hitter_ablation,
+        "ablation-hashes": run_hash_family_ablation,
+        "ablation-aggregates": run_aggregate_ablation,
+        "throughput": lambda: run_throughput()[1],
+    }
+    names = list(commands) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(banner(name))
+        print(commands[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Aggregate statistics over implicated itemsets (Table 2, last row).
+
+Beyond counts, the paper's query classification includes aggregates like
+"the *average number* of destinations that 90% of the time are contacted
+from more than ten sources".  Such statistics need per-itemset detail
+(multiplicities, supports) for a *population* of itemsets — which the
+NIPS bitmap deliberately discards but a distinct sample retains: because
+Gibbons-style distinct sampling admits an itemset from its first tuple,
+every sampled itemset carries exact support and (bounded) partner counts,
+and population aggregates follow by the standard scale-up.
+
+Two implementations with one interface:
+
+* :class:`ExactImplicationAggregates` — full hash tables, ground truth;
+* :class:`SampledImplicationAggregates` — distinct-sampling backed,
+  bounded memory; unbiased for means over the sampled population.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Hashable, Iterable, Iterator
+
+from ..core.conditions import ImplicationConditions
+from ..core.tracker import ItemsetState, ItemsetTracker
+
+__all__ = [
+    "POPULATIONS",
+    "ExactImplicationAggregates",
+    "SampledImplicationAggregates",
+]
+
+#: The itemset populations an aggregate can range over.
+POPULATIONS = ("satisfied", "violated", "supported")
+
+
+def _select(
+    states: Iterable[ItemsetState],
+    population: str,
+    conditions: ImplicationConditions,
+) -> Iterator[ItemsetState]:
+    if population not in POPULATIONS:
+        raise ValueError(
+            f"population must be one of {POPULATIONS}, got {population!r}"
+        )
+    tau = conditions.min_support
+    for state in states:
+        if state.support < tau:
+            continue
+        if population == "supported":
+            yield state
+        elif population == "violated" and state.violated:
+            yield state
+        elif population == "satisfied" and not state.violated:
+            yield state
+
+
+class _AggregatesMixin:
+    """Aggregate readouts shared by the exact and sampled variants."""
+
+    conditions: ImplicationConditions
+
+    def _states(self) -> Iterable[ItemsetState]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _population(self, population: str) -> list[ItemsetState]:
+        return list(_select(self._states(), population, self.conditions))
+
+    def average_multiplicity(self, population: str = "satisfied") -> float:
+        """Mean number of distinct partners per itemset in the population.
+
+        Multiplicity is exact for itemsets within the partner bound; for
+        itemsets that exceeded the bound (and are therefore violated) the
+        bound itself is used as a floor — the aggregate is then a lower
+        bound, which the docstring of :class:`ItemsetState` explains.
+        """
+        states = self._population(population)
+        if not states:
+            return 0.0
+        bound = self.conditions.partner_bound
+        values = []
+        for state in states:
+            if state.partners is not None:
+                values.append(len(state.partners))
+            else:
+                values.append(bound + 1 if bound is not None else 0)
+        return sum(values) / len(values)
+
+    def average_support(self, population: str = "satisfied") -> float:
+        """Mean support (tuple count) per itemset in the population."""
+        states = self._population(population)
+        if not states:
+            return 0.0
+        return sum(state.support for state in states) / len(states)
+
+    def median_support(self, population: str = "satisfied") -> float:
+        states = self._population(population)
+        if not states:
+            return 0.0
+        return float(statistics.median(state.support for state in states))
+
+    def multiplicity_histogram(
+        self, population: str = "supported"
+    ) -> dict[int, int]:
+        """Multiplicity -> itemset count over the population.
+
+        For the sampled variant these are *sample* counts; scale by
+        :meth:`SampledImplicationAggregates.scale_factor` for population
+        estimates.
+        """
+        histogram: dict[int, int] = {}
+        bound = self.conditions.partner_bound
+        for state in self._population(population):
+            if state.partners is not None:
+                multiplicity = len(state.partners)
+            else:
+                multiplicity = bound + 1 if bound is not None else 0
+            histogram[multiplicity] = histogram.get(multiplicity, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+class ExactImplicationAggregates(_AggregatesMixin):
+    """Ground-truth aggregates from full per-itemset hash tables."""
+
+    def __init__(self, conditions: ImplicationConditions) -> None:
+        self.conditions = conditions
+        self._tracker = ItemsetTracker(conditions)
+        self.tuples_seen = 0
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        self._tracker.observe(itemset, partner, weight)
+        self.tuples_seen += weight
+
+    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        for itemset, partner in pairs:
+            self.update(itemset, partner)
+
+    def _states(self) -> Iterable[ItemsetState]:
+        return (state for __, state in self._tracker.items())
+
+    def population_count(self, population: str = "satisfied") -> float:
+        return float(len(self._population(population)))
+
+
+class SampledImplicationAggregates(_AggregatesMixin):
+    """Distinct-sampling backed aggregates under a fixed memory budget.
+
+    The underlying sample is uniform over *distinct itemsets* (membership
+    depends only on the itemset hash), so means computed over sampled
+    states are unbiased estimates of the population means, and counts scale
+    by ``2**level``.
+    """
+
+    def __init__(
+        self,
+        conditions: ImplicationConditions,
+        sample_budget: int = 4096,
+        per_value_bound: int = 64,
+        seed: int = 0,
+    ) -> None:
+        # Imported lazily: baselines depends on core, so a module-level
+        # import here would close a cycle during package initialization.
+        from ..baselines.distinct_sampling import (
+            DistinctSamplingImplicationCounter,
+        )
+
+        self.conditions = conditions
+        self._sampler = DistinctSamplingImplicationCounter(
+            conditions,
+            sample_budget=sample_budget,
+            per_value_bound=per_value_bound,
+            seed=seed,
+        )
+
+    @property
+    def tuples_seen(self) -> int:
+        return self._sampler.tuples_seen
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        self._sampler.update(itemset, partner, weight)
+
+    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        for itemset, partner in pairs:
+            self.update(itemset, partner)
+
+    def update_batch(self, lhs, rhs) -> None:
+        self._sampler.update_batch(lhs, rhs)
+
+    def _states(self) -> Iterable[ItemsetState]:
+        return self._sampler._sample.values()
+
+    @property
+    def scale_factor(self) -> float:
+        """Multiplier from sample counts to population counts."""
+        return float(2 ** self._sampler.level)
+
+    def population_count(self, population: str = "satisfied") -> float:
+        """Estimated number of itemsets in the population."""
+        return len(self._population(population)) * self.scale_factor
+
+    def sample_size(self, population: str = "satisfied") -> int:
+        """Sampled itemsets backing an aggregate (its effective n)."""
+        return len(self._population(population))

@@ -1,0 +1,162 @@
+"""(eps, delta)-approximation toolkit (Section 4.7) and fringe sizing lemmas.
+
+A probabilistic algorithm ``(eps, delta)``-approximates a value ``A`` when it
+outputs ``A-hat`` with ``P(|A-hat - A| <= eps*A) >= 1 - delta``.  Stochastic
+averaging drives ``eps`` down as ``1/sqrt(m)``; confidence is then boosted to
+any ``delta`` by the standard median trick — run independent estimator
+groups and answer with the median of their answers.
+
+Also here: the Lemma 2 machinery that sizes the fringe.  With ``q`` the
+ratio of the non-implication count to the distinct count, the fringe spans
+``F = ceil(-log2 q)`` cells with high probability, and a fixed fringe of
+size ``F`` can estimate non-implication counts down to ``2**-F * F0``
+(Section 4.3.3) — smaller counts are clamped to that floor.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Callable, Hashable, Sequence
+
+from .conditions import ImplicationConditions
+from .estimator import ImplicationCountEstimator
+
+__all__ = [
+    "required_fringe_size",
+    "minimum_estimable_count",
+    "groups_for_confidence",
+    "bitmaps_for_accuracy",
+    "MedianOfEstimators",
+]
+
+
+def required_fringe_size(nonimplication_ratio: float, headroom: int = 0) -> int:
+    """Lemma 2: fringe cells needed for a non-implication ratio ``q``.
+
+    ``q = S-bar / F0(A)``; the fringe spans ``-log2(q)`` cells with high
+    probability.  ``headroom`` adds slack cells beyond the lemma's (already
+    pessimistic) bound.
+    """
+    if not 0.0 < nonimplication_ratio <= 1.0:
+        raise ValueError(
+            f"nonimplication_ratio must be in (0, 1], got {nonimplication_ratio}"
+        )
+    return max(1, math.ceil(-math.log2(nonimplication_ratio))) + headroom
+
+
+def minimum_estimable_count(fringe_size: int, distinct_count: float) -> float:
+    """Smallest non-implication count a fixed fringe can resolve (§4.3.3).
+
+    E.g. ``F = 4`` resolves counts down to ``6.25%`` of ``F0(A)``; ``F = 8``
+    down to ``0.4%``.  Smaller true counts are all mapped to this value.
+    """
+    if fringe_size < 1:
+        raise ValueError(f"fringe_size must be >= 1, got {fringe_size}")
+    if distinct_count < 0:
+        raise ValueError(f"distinct_count must be >= 0, got {distinct_count}")
+    return distinct_count / float(2 ** fringe_size)
+
+
+def groups_for_confidence(delta: float) -> int:
+    """Number of independent groups whose median fails with prob <= delta.
+
+    The usual Chernoff bound for the median trick gives
+    ``g = ceil(8 * ln(1 / delta))`` (each group errs with prob <= 1/4 by
+    Chebyshev; the median errs only if half the groups do).  Always odd so
+    the median is a sample value.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    groups = math.ceil(8.0 * math.log(1.0 / delta))
+    return groups + 1 if groups % 2 == 0 else groups
+
+def bitmaps_for_accuracy(epsilon: float) -> int:
+    """Bitmaps per group for standard error ``~epsilon`` (``0.78/sqrt(m)``).
+
+    Rounded up to the next power of two because routing consumes whole hash
+    bits.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    needed = math.ceil((0.78 / epsilon) ** 2)
+    return 1 << max(0, (needed - 1).bit_length())
+
+
+class MedianOfEstimators:
+    """Boost confidence by taking the median over independent estimators.
+
+    Wraps ``groups`` independently seeded
+    :class:`~repro.core.estimator.ImplicationCountEstimator` instances; every
+    update is fanned out to all of them, and each query answers with the
+    median of the per-group answers.  With per-group accuracy ``eps`` and
+    ``groups = groups_for_confidence(delta)`` this is the classical
+    ``(eps, delta)`` construction of Section 4.7.
+
+    The memory multiplier is exactly ``groups``; the factory
+    :meth:`for_accuracy` picks both knobs from target ``(eps, delta)``.
+    """
+
+    def __init__(
+        self,
+        conditions: ImplicationConditions,
+        groups: int = 9,
+        seed: int = 0,
+        estimator_factory: Callable[[int], ImplicationCountEstimator] | None = None,
+        **estimator_kwargs,
+    ) -> None:
+        if groups < 1:
+            raise ValueError(f"groups must be >= 1, got {groups}")
+        if estimator_factory is None:
+            def estimator_factory(group_seed: int) -> ImplicationCountEstimator:
+                return ImplicationCountEstimator(
+                    conditions, seed=group_seed, **estimator_kwargs
+                )
+        self.conditions = conditions
+        self.groups = [
+            estimator_factory(seed * 7919 + index + 1) for index in range(groups)
+        ]
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        conditions: ImplicationConditions,
+        epsilon: float,
+        delta: float,
+        seed: int = 0,
+        **estimator_kwargs,
+    ) -> "MedianOfEstimators":
+        """Build a wrapper targeting an ``(epsilon, delta)`` guarantee."""
+        estimator_kwargs.setdefault("num_bitmaps", bitmaps_for_accuracy(epsilon))
+        return cls(
+            conditions,
+            groups=groups_for_confidence(delta),
+            seed=seed,
+            **estimator_kwargs,
+        )
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        for estimator in self.groups:
+            estimator.update(itemset, partner, weight)
+
+    def update_batch(self, lhs, rhs) -> None:
+        for estimator in self.groups:
+            estimator.update_batch(lhs, rhs)
+
+    def _median(self, answers: Sequence[float]) -> float:
+        return float(statistics.median(answers))
+
+    def implication_count(self) -> float:
+        return self._median([g.implication_count() for g in self.groups])
+
+    def nonimplication_count(self) -> float:
+        return self._median([g.nonimplication_count() for g in self.groups])
+
+    def supported_distinct_count(self) -> float:
+        return self._median([g.supported_distinct_count() for g in self.groups])
+
+    def __repr__(self) -> str:
+        return (
+            f"MedianOfEstimators(groups={len(self.groups)}, "
+            f"S~{self.implication_count():.0f})"
+        )

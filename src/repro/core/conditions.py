@@ -1,0 +1,120 @@
+"""Implication conditions — the user-facing knobs of Section 3.1.1.
+
+An itemset ``a`` of attribute set ``A`` *implies* ``B`` (written ``a -> B``)
+when all three hold:
+
+1. **Maximum multiplicity** ``K``: ``a`` appears with at most ``K`` distinct
+   itemsets of ``B`` over the life of the stream.
+2. **Minimum support** ``tau``: ``a`` appears in at least ``tau`` tuples.
+   Deliberately an *absolute* count, not a fraction of the stream — the
+   relative form is what breaks Lossy Counting style approaches (§5.1.1).
+3. **Minimum top-c confidence** ``theta``: the sum of the ``c`` largest
+   per-partner confidence levels ``sigma(a, b) / sigma(a)`` is at least
+   ``theta`` — i.e. ``a`` appears with at most ``c`` partners in at least a
+   ``theta`` fraction of its tuples (noise-tolerant one-to-c implication).
+
+Violations are **sticky** (§3.1.1 last paragraph): once an itemset that has
+reached minimum support fails condition 1 or 3, it never re-enters the
+implication count, even if the stream later repairs its confidence.  This
+stickiness is what makes the *non*-implication count monotone and therefore
+recordable by the NIPS bitmap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ImplicationConditions", "ItemsetStatus"]
+
+
+class ItemsetStatus(enum.Enum):
+    """Lifecycle of an itemset with respect to a set of conditions."""
+
+    #: Below minimum support — contributes to neither count yet.
+    PENDING = "pending"
+    #: Meets minimum support and currently satisfies every condition.
+    SATISFIED = "satisfied"
+    #: Met minimum support and failed a condition at least once (sticky).
+    VIOLATED = "violated"
+
+
+@dataclass(frozen=True)
+class ImplicationConditions:
+    """The triple ``(K, tau, (c, theta))`` of Section 3.1.1.
+
+    Parameters
+    ----------
+    max_multiplicity:
+        ``K`` — maximum number of distinct RHS itemsets an implying itemset
+        may appear with.  ``None`` disables the condition (the tracker then
+        bounds partner storage by ``partner_cap`` instead of ``K``).
+    min_support:
+        ``tau`` — minimum absolute number of tuples.
+    top_c:
+        ``c`` of the top-confidence metric: how many partners count toward
+        the confidence mass.  ``top_c=1, min_top_confidence=1.0`` is a strict
+        one-to-one implication; larger ``c`` expresses one-to-c.
+    min_top_confidence:
+        ``theta`` in ``[0, 1]``.  ``0`` disables the confidence condition.
+
+    Examples
+    --------
+    "destinations contacted by only one source" (Table 2, one-to-one)::
+
+        ImplicationConditions(max_multiplicity=1, min_support=1)
+
+    "destinations contacted by one source 80% of the time" (noisy)::
+
+        ImplicationConditions(top_c=1, min_top_confidence=0.8, min_support=1)
+    """
+
+    max_multiplicity: int | None = None
+    min_support: int = 1
+    top_c: int = 1
+    min_top_confidence: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_multiplicity is not None and self.max_multiplicity < 1:
+            raise ValueError(
+                f"max_multiplicity must be >= 1 or None, got {self.max_multiplicity}"
+            )
+        if self.min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {self.min_support}")
+        if self.top_c < 1:
+            raise ValueError(f"top_c must be >= 1, got {self.top_c}")
+        if not 0.0 <= self.min_top_confidence <= 1.0:
+            raise ValueError(
+                f"min_top_confidence must be in [0, 1], got {self.min_top_confidence}"
+            )
+        if (
+            self.max_multiplicity is not None
+            and self.top_c > self.max_multiplicity
+        ):
+            raise ValueError(
+                f"top_c ({self.top_c}) cannot exceed max_multiplicity "
+                f"({self.max_multiplicity}): the top-c mass would count "
+                "partners the multiplicity condition forbids"
+            )
+
+    @property
+    def partner_bound(self) -> int | None:
+        """How many distinct partners must be stored per itemset.
+
+        With a multiplicity cap ``K`` at most ``K`` partner counters are ever
+        needed — the ``(K+1)``-th distinct partner proves the violation and
+        the counters can be dropped (§4.3.4).  Without a cap the bound is
+        ``None`` (unbounded).
+        """
+        return self.max_multiplicity
+
+    def describe(self) -> str:
+        """One-line human-readable rendering used by reports."""
+        parts = [f"support>={self.min_support}"]
+        if self.max_multiplicity is not None:
+            parts.append(f"multiplicity<={self.max_multiplicity}")
+        if self.min_top_confidence > 0.0:
+            parts.append(
+                f"top-{self.top_c} confidence>={self.min_top_confidence:.0%}"
+            )
+        return ", ".join(parts)

@@ -1,0 +1,316 @@
+"""NIPS/CI with stochastic averaging — the paper's production estimator.
+
+A single NIPS bitmap estimates counts only up to a factor-of-two grid, so the
+paper runs ``m`` bitmaps (64 in every experiment) and *stochastically
+averages* them: the low ``log2(m)`` bits of the itemset hash pick a bitmap,
+the remaining bits drive cell placement.  Expected relative error is about
+``0.78 / sqrt(m)`` — just under 10% for ``m = 64``, matching the error
+envelope of Figures 4–7.
+
+:class:`ImplicationCountEstimator` is the class downstream code should use.
+It exposes three estimates off the same state (Section 4.4):
+
+* :meth:`implication_count` — ``S``, the headline statistic;
+* :meth:`nonimplication_count` — ``S-bar`` (the complement query of
+  Section 4.3, itself a first-class statistic: Table 2's "Complement
+  Implication" row);
+* :meth:`supported_distinct_count` — ``F0_sup``, distinct LHS itemsets that
+  meet minimum support.
+
+Updates come in two flavours: :meth:`update` for arbitrary hashable itemsets
+(tuples, strings, ints) and :meth:`update_batch` for integer-encoded numpy
+columns, which vectorizes the hash/route/placement work and only drops into
+Python for the small fraction of tuples that land in a fringe zone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..sketch.bitops import HASH_BITS, least_significant_bit, least_significant_bit_array
+from ..sketch.fm import pcsa_scale
+from ..sketch.hashing import HashFamily, HashFunction
+from .conditions import ImplicationConditions
+from .nips import DEFAULT_CAPACITY_SLACK, DEFAULT_FRINGE_SIZE, NIPSBitmap
+
+__all__ = ["ImplicationCountEstimator", "MemoryProfile"]
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Snapshot of the estimator's memory footprint (Section 4.6 accounting)."""
+
+    num_bitmaps: int
+    stored_itemsets: int
+    live_counters: int
+    itemset_budget: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the itemset budget currently in use."""
+        if self.itemset_budget == 0:
+            return 0.0
+        return self.stored_itemsets / self.itemset_budget
+
+
+class ImplicationCountEstimator:
+    """Estimate implication counts with ``m``-way stochastic averaging.
+
+    Parameters
+    ----------
+    conditions:
+        The implication conditions ``(K, tau, c, theta)`` of Section 3.1.1.
+    num_bitmaps:
+        ``m`` — must be a power of two.  The paper uses 64 throughout.
+    fringe_size:
+        Fringe width ``F`` per bitmap (4 in the paper), or ``None`` for the
+        unbounded-fringe reference estimator of Figures 4–6.
+    length:
+        Cells per bitmap; the default leaves the full hash width after
+        routing bits are consumed.
+    capacity_slack:
+        Overflow slack per fringe cell (Section 4.3.2 "double the memory").
+    seed:
+        Seeds the shared placement hash; two estimators with equal seeds and
+        geometry are bit-for-bit reproducible.
+    bias_correction:
+        Apply the Flajolet–Martin ``phi`` correction (DESIGN.md D1).  With
+        ``False`` the verbatim Algorithm 2 arithmetic is used.
+    """
+
+    def __init__(
+        self,
+        conditions: ImplicationConditions,
+        num_bitmaps: int = 64,
+        fringe_size: int | None = DEFAULT_FRINGE_SIZE,
+        length: int | None = None,
+        capacity_slack: int = DEFAULT_CAPACITY_SLACK,
+        seed: int = 0,
+        hash_function: HashFunction | None = None,
+        bias_correction: bool = True,
+    ) -> None:
+        if num_bitmaps < 1 or num_bitmaps & (num_bitmaps - 1):
+            raise ValueError(f"num_bitmaps must be a power of two, got {num_bitmaps}")
+        self.conditions = conditions
+        self.num_bitmaps = num_bitmaps
+        self.route_bits = num_bitmaps.bit_length() - 1
+        self.length = length if length is not None else HASH_BITS - self.route_bits
+        if not 1 <= self.length <= HASH_BITS:
+            raise ValueError(f"length must be in [1, {HASH_BITS}], got {self.length}")
+        self.fringe_size = fringe_size
+        self.bias_correction = bias_correction
+        self.hash_function = hash_function or HashFamily("splitmix", seed).one()
+        self.bitmaps = [
+            NIPSBitmap(
+                conditions,
+                length=self.length,
+                fringe_size=fringe_size,
+                capacity_slack=capacity_slack,
+                hash_function=self.hash_function,
+            )
+            for _ in range(num_bitmaps)
+        ]
+        self.tuples_seen = 0
+
+    #: Sub-chunk size for :meth:`update_batch`; small enough that fringe
+    #: floats propagate into the Zone-1 filter quickly, large enough that
+    #: the vector ops amortize.
+    _BATCH_CHUNK = 8192
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        """Process one stream tuple projected to ``(a, b)``."""
+        hashed = self.hash_function(itemset)
+        index = hashed & (self.num_bitmaps - 1)
+        position = min(
+            least_significant_bit(hashed >> self.route_bits), self.length - 1
+        )
+        self.bitmaps[index].update_at(position, itemset, partner, weight)
+        self.tuples_seen += weight
+
+    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
+        """Process an iterable of ``(a, b)`` pairs (scalar path)."""
+        for itemset, partner in pairs:
+            self.update(itemset, partner)
+
+    def update_batch(self, lhs: np.ndarray, rhs: np.ndarray) -> None:
+        """Vectorized update for integer-encoded columns.
+
+        ``lhs[i]`` and ``rhs[i]`` are the encoded LHS/RHS itemsets of tuple
+        ``i`` (``uint64``; see :func:`repro.sketch.hashing.combine_encoded`
+        for compound attributes).  Hashing, routing and cell placement are
+        done in numpy; only tuples whose cell is at or beyond their bitmap's
+        fringe start — the ones that can change state — are handed to the
+        Python per-cell machinery.  Tuples that land in Zone-1 (the vast
+        majority on a long stream) cost a few vector ops in aggregate.
+        """
+        lhs = np.asarray(lhs, dtype=np.uint64)
+        rhs = np.asarray(rhs, dtype=np.uint64)
+        if lhs.shape != rhs.shape:
+            raise ValueError(
+                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
+            )
+        self.tuples_seen += len(lhs)
+        hashed = self.hash_function.hash_array(lhs)
+        all_indexes = (hashed & np.uint64(self.num_bitmaps - 1)).astype(np.int64)
+        all_positions = least_significant_bit_array(
+            hashed >> np.uint64(self.route_bits)
+        )
+        np.minimum(all_positions, self.length - 1, out=all_positions)
+        bitmaps = self.bitmaps
+        # Process in sub-chunks: each takes a fresh snapshot of per-bitmap
+        # fringe starts to filter out Zone-1 hits.  Starts only ever
+        # advance, so the filter is conservative — a tuple whose bitmap
+        # floats mid-chunk is re-checked (and skipped) by update_at itself —
+        # and re-snapshotting lets later sub-chunks skip ever more tuples.
+        for offset in range(0, len(lhs), self._BATCH_CHUNK):
+            chunk = slice(offset, offset + self._BATCH_CHUNK)
+            indexes = all_indexes[chunk]
+            positions = all_positions[chunk]
+            starts = np.array(
+                [bitmap.fringe_start for bitmap in bitmaps], dtype=np.int64
+            )
+            live = np.nonzero(positions >= starts[indexes])[0]
+            lhs_chunk = lhs[chunk]
+            rhs_chunk = rhs[chunk]
+            for row in live:
+                bitmaps[indexes[row]].update_at(
+                    int(positions[row]), int(lhs_chunk[row]), int(rhs_chunk[row])
+                )
+
+    # ------------------------------------------------------------------ #
+    # Estimates (Algorithm 2 across m bitmaps)
+    # ------------------------------------------------------------------ #
+
+    def _scaled(self, mean_position: float) -> float:
+        return pcsa_scale(
+            self.num_bitmaps,
+            mean_position,
+            correct_bias=self.bias_correction,
+            small_range_correction=self.bias_correction,
+        )
+
+    def nonimplication_count(self) -> float:
+        """Estimate of ``S-bar`` — itemsets with support that fail a condition."""
+        mean_position = sum(
+            bitmap.leftmost_zero_nonimplication() for bitmap in self.bitmaps
+        ) / self.num_bitmaps
+        return self._scaled(mean_position)
+
+    def supported_distinct_count(self) -> float:
+        """Estimate of ``F0_sup`` — distinct itemsets meeting minimum support."""
+        mean_position = sum(
+            bitmap.leftmost_zero_supported() for bitmap in self.bitmaps
+        ) / self.num_bitmaps
+        return self._scaled(mean_position)
+
+    def implication_count(self) -> float:
+        """Estimate of ``S = F0_sup - S-bar`` (Section 4.4), clamped at 0."""
+        return max(self.supported_distinct_count() - self.nonimplication_count(), 0.0)
+
+    def expected_relative_error(self) -> float:
+        """The ``~0.78 / sqrt(m)`` standard-error figure for PCSA."""
+        return 0.78 / math.sqrt(self.num_bitmaps)
+
+    def minimum_estimable_nonimplication(self, distinct_estimate: float) -> float:
+        """Floor ``2**-F * F0`` below which fixation clamps ``S-bar`` (§4.3.3)."""
+        if self.fringe_size is None:
+            return 0.0
+        return distinct_estimate / float(2 ** self.fringe_size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+
+    def memory_profile(self) -> MemoryProfile:
+        """Current footprint against the §4.6 budget ``(2**F - 1)*slack*m``."""
+        stored = sum(bitmap.stored_itemsets() for bitmap in self.bitmaps)
+        counters = sum(bitmap.counter_count() for bitmap in self.bitmaps)
+        if self.fringe_size is None:
+            budget = 0
+        else:
+            budget = (
+                (2 ** self.fringe_size - 1)
+                * self.bitmaps[0].capacity_slack
+                * self.num_bitmaps
+            )
+        return MemoryProfile(
+            num_bitmaps=self.num_bitmaps,
+            stored_itemsets=stored,
+            live_counters=counters,
+            itemset_budget=budget,
+        )
+
+    def merge(self, other: "ImplicationCountEstimator") -> "ImplicationCountEstimator":
+        """Fold another node's estimator into this one (distributed setting).
+
+        Both estimators must share geometry, conditions and the placement
+        hash (build the remote one with :meth:`spawn_sibling`, or from the
+        same seed).  After merging, this estimator summarizes the union of
+        both sub-streams; see :meth:`NIPSBitmap.merge` for semantics.
+        """
+        if (
+            self.num_bitmaps != other.num_bitmaps
+            or self.length != other.length
+            or self.fringe_size != other.fringe_size
+            or self.conditions != other.conditions
+            or repr(self.hash_function) != repr(other.hash_function)
+        ):
+            raise ValueError("cannot merge incompatible estimators")
+        for mine, theirs in zip(self.bitmaps, other.bitmaps):
+            mine.merge(theirs)
+        self.tuples_seen += other.tuples_seen
+        return self
+
+    def spawn_sibling(self) -> "ImplicationCountEstimator":
+        """A fresh, empty estimator with identical geometry and hash.
+
+        Sliding-window maintenance (Section 3.2) rotates through siblings
+        with staggered stream origins; sharing the hash keeps their readouts
+        comparable.
+        """
+        sibling = ImplicationCountEstimator(
+            self.conditions,
+            num_bitmaps=self.num_bitmaps,
+            fringe_size=self.fringe_size,
+            length=self.length,
+            capacity_slack=self.bitmaps[0].capacity_slack,
+            hash_function=self.hash_function,
+            bias_correction=self.bias_correction,
+        )
+        return sibling
+
+    # ------------------------------------------------------------------ #
+    # Wire format (distributed aggregation)
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> bytes:
+        """Serialize full state for shipping to an aggregator.
+
+        See :mod:`repro.core.serialize` for the format (versioned,
+        compressed, no pickle).
+        """
+        from .serialize import estimator_to_bytes
+
+        return estimator_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ImplicationCountEstimator":
+        """Rebuild an estimator serialized with :meth:`to_bytes`."""
+        from .serialize import estimator_from_bytes
+
+        return estimator_from_bytes(payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"ImplicationCountEstimator(m={self.num_bitmaps}, "
+            f"fringe={self.fringe_size}, tuples={self.tuples_seen}, "
+            f"S~{self.implication_count():.0f})"
+        )

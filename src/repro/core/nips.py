@@ -1,0 +1,352 @@
+"""NIPS — Non-Implication Probabilistic Sampling (Algorithm 1) and the
+CI readout (Algorithm 2) over a single bitmap.
+
+The bitmap has three zones (Figure 3):
+
+* **Zone-1** — the prefix of cells already assigned value 1 because a
+  non-implication was found there (or the cell overflowed its bounded
+  capacity).  No storage.
+* **Fringe zone** — a window of ``fringe_size`` cells whose decision is
+  postponed: each cell stores full :class:`~repro.core.tracker.ItemsetState`
+  bookkeeping for every itemset hashed into it, so a violation of the
+  implication conditions can be detected the moment it happens.
+* **Zone-0** — cells to the right of the fringe; still empty.
+
+The fringe *floats* right in two situations (Section 4.3.2/4.3.3): when an
+itemset hashes beyond the current right edge (the right edge is always the
+rightmost hashed cell), and when the leftmost fringe cell acquires value 1.
+Floating past a cell that never proved a violation is the *fixation* step —
+it bounds memory at the price of a floor ``2**-F * F0`` on the smallest
+non-implication count that can be estimated (Lemma 2 discussion).
+
+The CI readout derives, from the same bitmap,
+
+* ``R_nonimpl`` — leftmost zero of the value bits, estimating the
+  non-implication count ``S-bar``; and
+* ``R_supported`` — leftmost cell that neither is value-1 nor holds an
+  itemset meeting minimum support, estimating ``F0_sup`` (Section 4.4);
+
+and returns ``S ~ 2**R_supported - 2**R_nonimpl`` (bias-corrected by the
+caller; see :class:`repro.core.estimator.ImplicationCountEstimator`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..sketch.bitops import HASH_BITS, least_significant_bit
+from ..sketch.hashing import HashFamily, HashFunction
+from .conditions import ImplicationConditions, ItemsetStatus
+from .tracker import ItemsetState
+
+__all__ = ["NIPSBitmap", "DEFAULT_FRINGE_SIZE", "DEFAULT_CAPACITY_SLACK"]
+
+#: Paper default (Section 4.3.2): "a value of four is sufficient".
+DEFAULT_FRINGE_SIZE = 4
+#: "We can also double the allocated memory … to accommodate deviations from
+#: the expected distributions due to inefficiencies of the hash function."
+DEFAULT_CAPACITY_SLACK = 2
+
+
+class NIPSBitmap:
+    """One NIPS bitmap (Algorithm 1) plus its CI readout (Algorithm 2).
+
+    Parameters
+    ----------
+    conditions:
+        The implication conditions ``(K, tau, c, theta)``.
+    length:
+        Number of cells ``L`` (``O(log |A|)`` suffices).
+    fringe_size:
+        Width ``F`` of the floating fringe, or ``None`` for the *unbounded*
+        fringe used as the reference estimator in Figures 4–6 (every
+        undecided cell keeps storage; no fixation error, no memory bound).
+    capacity_slack:
+        Multiplier on the expected itemset population ``2**(right - pos)``
+        of a fringe cell before it is declared overflowed.  Ignored for the
+        unbounded fringe.
+    hash_function / seed:
+        Placement hash.  When embedded in a stochastic-averaging estimator
+        the estimator routes pre-hashed positions in via
+        :meth:`update_at`, and this hash is unused.
+    """
+
+    def __init__(
+        self,
+        conditions: ImplicationConditions,
+        length: int = HASH_BITS,
+        fringe_size: int | None = DEFAULT_FRINGE_SIZE,
+        capacity_slack: int = DEFAULT_CAPACITY_SLACK,
+        hash_function: HashFunction | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= length <= HASH_BITS:
+            raise ValueError(f"length must be in [1, {HASH_BITS}], got {length}")
+        if fringe_size is not None and fringe_size < 1:
+            raise ValueError(f"fringe_size must be >= 1 or None, got {fringe_size}")
+        if capacity_slack < 1:
+            raise ValueError(f"capacity_slack must be >= 1, got {capacity_slack}")
+        self.conditions = conditions
+        self.length = length
+        self.fringe_size = fringe_size
+        self.capacity_slack = capacity_slack
+        self.hash_function = hash_function or HashFamily("splitmix", seed).one()
+        #: First cell that is not part of the value-1 prefix (== R_nonimpl).
+        self.fringe_start = 0
+        #: Rightmost cell an itemset has hashed to so far (-1: none yet).
+        self.rightmost_hashed = -1
+        #: Value bits of undecided-region cells that were individually set.
+        self._value_one: set[int] = set()
+        #: Cell storage: position -> {itemset -> ItemsetState}.
+        self._cells: dict[int, dict[Hashable, ItemsetState]] = {}
+        #: Tuples processed (T in the paper; needed by reports only).
+        self.tuples_seen = 0
+
+    # ------------------------------------------------------------------ #
+    # Zone geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def fringe_end(self) -> int:
+        """Rightmost cell of the fringe window (inclusive)."""
+        if self.fringe_size is None:
+            return self.length - 1
+        return min(self.fringe_start + self.fringe_size - 1, self.length - 1)
+
+    def zone_of(self, position: int) -> str:
+        """Classify a cell: ``"zone1"``, ``"fringe"`` or ``"zone0"``."""
+        if position < self.fringe_start:
+            return "zone1"
+        if position <= self.fringe_end:
+            return "fringe"
+        return "zone0"
+
+    def cell_capacity(self, position: int) -> int | None:
+        """Itemset capacity of a fringe cell, ``None`` if unbounded.
+
+        Lemma 1: a cell ``j`` places left of the right fringe edge expects
+        ``2**j`` distinct itemsets; the slack multiplier absorbs hash
+        variance (Section 4.3.2).
+        """
+        if self.fringe_size is None:
+            return None
+        depth = max(self.fringe_end - position, 0)
+        return self.capacity_slack * (1 << depth)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1 — update
+    # ------------------------------------------------------------------ #
+
+    def update(self, itemset: Hashable, partner: Hashable, weight: int = 1) -> None:
+        """Process one stream tuple ``(a, b)`` using this bitmap's own hash."""
+        position = min(
+            least_significant_bit(self.hash_function(itemset)), self.length - 1
+        )
+        self.update_at(position, itemset, partner, weight)
+
+    def update_at(
+        self, position: int, itemset: Hashable, partner: Hashable, weight: int = 1
+    ) -> None:
+        """Process one tuple whose itemset hashes to ``position``.
+
+        This is the embedding point for stochastic averaging: the owning
+        estimator computes the position from its shared hash and routes the
+        raw keys here.
+        """
+        if not 0 <= position < self.length:
+            raise IndexError(f"cell {position} outside bitmap of {self.length} cells")
+        self.tuples_seen += weight
+        if position > self.rightmost_hashed:
+            self.rightmost_hashed = position
+            if self.fringe_size is not None and position > self.fringe_end:
+                # Zone-0 hit: float the fringe so this becomes its right edge
+                # (Algorithm 1 lines 3-5).
+                self._float_to(position - self.fringe_size + 1)
+        if position < self.fringe_start or position in self._value_one:
+            # Zone-1, or a fringe cell already decided: nothing to record.
+            return
+        cell = self._cells.get(position)
+        if cell is None:
+            cell = self._cells[position] = {}
+        state = cell.get(itemset)
+        if state is None:
+            capacity = self.cell_capacity(position)
+            if capacity is not None and len(cell) >= capacity:
+                # Overflow: arbitrarily decide the cell (Section 4.3.3).
+                self._assign_one(position)
+                return
+            state = cell[itemset] = ItemsetState()
+        status = state.observe(partner, self.conditions, weight)
+        if status is ItemsetStatus.VIOLATED:
+            # Found an itemset with NOT(a -> B): record the event.
+            self._assign_one(position)
+
+    def _assign_one(self, position: int) -> None:
+        """Set a fringe cell's value to 1, free its memory, maybe float."""
+        self._cells.pop(position, None)
+        self._value_one.add(position)
+        if position == self.fringe_start:
+            self._advance_past_ones()
+
+    def _advance_past_ones(self) -> None:
+        """Float the fringe right past the value-1 prefix (lines 16-17)."""
+        start = self.fringe_start
+        while start in self._value_one:
+            self._value_one.discard(start)
+            start += 1
+        self.fringe_start = start
+
+    def _float_to(self, new_start: int) -> None:
+        """Float the fringe so it starts at ``new_start`` (if further right).
+
+        Cells dropped off the left edge are cleared and become Zone-1 — the
+        fixation step of Section 4.3.3.
+        """
+        new_start = max(new_start, 0)
+        if new_start <= self.fringe_start:
+            return
+        for position in range(self.fringe_start, new_start):
+            self._cells.pop(position, None)
+            self._value_one.discard(position)
+        self.fringe_start = new_start
+        self._advance_past_ones()
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2 — CI readout
+    # ------------------------------------------------------------------ #
+
+    def leftmost_zero_nonimplication(self) -> int:
+        """``R_S-bar``: leftmost cell whose value is zero.
+
+        Cells left of the fringe are value 1 by construction; the floating
+        invariant keeps the first fringe cell at value 0, so this equals
+        :attr:`fringe_start` — kept as an explicit scan for fidelity to
+        Algorithm 2 lines 5-8.
+        """
+        position = self.fringe_start
+        while position < self.length and position in self._value_one:
+            position += 1
+        return position
+
+    def leftmost_zero_supported(self) -> int:
+        """``R_F0sup``: virtual leftmost zero counting min-support itemsets.
+
+        A cell is *virtually one* when it is value-1 (Zone-1 cells have, by
+        definition, held at least one itemset that met minimum support) or
+        when it currently stores an itemset with support >= tau
+        (Section 4.4; Algorithm 2 lines 1-4).
+        """
+        tau = self.conditions.min_support
+        position = 0
+        while position < self.length:
+            if position < self.fringe_start or position in self._value_one:
+                position += 1
+                continue
+            cell = self._cells.get(position)
+            if cell and any(state.support >= tau for state in cell.values()):
+                position += 1
+                continue
+            break
+        return position
+
+    def estimate_nonimplication(self, correct_bias: bool = True) -> float:
+        """Single-bitmap estimate of the non-implication count ``S-bar``."""
+        from ..sketch.fm import FM_PHI
+
+        raw = float(2 ** self.leftmost_zero_nonimplication())
+        return raw / FM_PHI if correct_bias else raw
+
+    def estimate_supported(self, correct_bias: bool = True) -> float:
+        """Single-bitmap estimate of ``F0_sup`` (distinct with support)."""
+        from ..sketch.fm import FM_PHI
+
+        raw = float(2 ** self.leftmost_zero_supported())
+        return raw / FM_PHI if correct_bias else raw
+
+    def estimate_implication(self, correct_bias: bool = True) -> float:
+        """Single-bitmap CI estimate ``S = F0_sup - S-bar`` (Algorithm 2)."""
+        return max(
+            self.estimate_supported(correct_bias)
+            - self.estimate_nonimplication(correct_bias),
+            0.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Distributed merging
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "NIPSBitmap") -> "NIPSBitmap":
+        """Fold another node's bitmap (same geometry and hash) into this one.
+
+        This is the distributed-aggregation operation the paper's sensor /
+        router setting needs: each node sketches its local sub-stream, and
+        merged sketches summarize the union.  Semantics:
+
+        * value-1 cells union (a non-implication seen anywhere stays seen);
+        * the fringe start advances to the further of the two (cells one
+          side already fixated stay fixated);
+        * surviving fringe cells merge per-itemset states via
+          :meth:`ItemsetState.merge`, re-evaluating the conditions on the
+          combined counters — which can itself prove new violations;
+        * merged cells that exceed capacity overflow exactly as live
+          updates would.
+
+        See :meth:`ItemsetState.merge` for the (inherent) order-dependence
+        caveat of the sticky semantics.
+        """
+        if (
+            self.length != other.length
+            or self.fringe_size != other.fringe_size
+            or repr(self.hash_function) != repr(other.hash_function)
+        ):
+            raise ValueError("cannot merge incompatible NIPS bitmaps")
+        if self.conditions != other.conditions:
+            raise ValueError("cannot merge bitmaps with different conditions")
+        self.tuples_seen += other.tuples_seen
+        self.rightmost_hashed = max(self.rightmost_hashed, other.rightmost_hashed)
+        self._float_to(other.fringe_start)
+        for position in list(other._value_one):
+            if position >= self.fringe_start:
+                self._assign_one(position)
+        for position, other_cell in other._cells.items():
+            if position < self.fringe_start or position in self._value_one:
+                continue
+            cell = self._cells.get(position)
+            if cell is None:
+                cell = self._cells[position] = {}
+            for itemset, other_state in other_cell.items():
+                state = cell.get(itemset)
+                if state is None:
+                    capacity = self.cell_capacity(position)
+                    if capacity is not None and len(cell) >= capacity:
+                        self._assign_one(position)
+                        break
+                    state = cell[itemset] = ItemsetState()
+                status = state.merge(other_state, self.conditions)
+                if status is ItemsetStatus.VIOLATED:
+                    self._assign_one(position)
+                    break
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stored_itemsets(self) -> int:
+        """Number of itemsets currently held in fringe cells."""
+        return sum(len(cell) for cell in self._cells.values())
+
+    def counter_count(self) -> int:
+        """Live counters across all fringe cells (memory accounting, §4.6)."""
+        return sum(
+            state.counter_count()
+            for cell in self._cells.values()
+            for state in cell.values()
+        )
+
+    def __repr__(self) -> str:
+        fringe = "unbounded" if self.fringe_size is None else self.fringe_size
+        return (
+            f"NIPSBitmap(fringe={fringe}, start={self.fringe_start}, "
+            f"stored={self.stored_itemsets()})"
+        )

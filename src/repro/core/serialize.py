@@ -1,0 +1,267 @@
+"""Sketch serialization — shipping NIPS/CI state between nodes.
+
+The paper's constrained environments (Section 1: sensor networks, router
+hierarchies) aggregate by moving *sketches*, not tuples: a node summarizes
+its local sub-stream and periodically ships the summary upstream, where
+sketches are merged (:meth:`ImplicationCountEstimator.merge`).  This module
+provides an explicit, versioned wire format for that:
+
+* structured JSON body (every itemset key is encoded with a type tag, so
+  ints, strings, bytes, floats and nested tuples round-trip exactly);
+* zlib compression with a magic/version header;
+* **no pickle** — payloads from other nodes are data, never code.
+
+Hash functions serialize as ``(kind, seed)``: every family in
+:mod:`repro.sketch.hashing` reconstructs deterministically from its seed,
+which is also what makes merged sketches from independently-built peers
+meaningful (they must share the placement hash).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Hashable
+
+from ..sketch.hashing import (
+    HashFunction,
+    MultiplyShiftHash,
+    PolynomialHash,
+    SplitMix64Hash,
+    TabulationHash,
+)
+from .conditions import ImplicationConditions
+from .estimator import ImplicationCountEstimator
+from .nips import NIPSBitmap
+from .tracker import ItemsetState
+
+__all__ = [
+    "SketchFormatError",
+    "estimator_to_bytes",
+    "estimator_from_bytes",
+    "estimator_to_dict",
+    "estimator_from_dict",
+]
+
+_MAGIC = b"NIPS"
+_VERSION = 1
+
+_HASH_KINDS: dict[str, type] = {
+    "splitmix": SplitMix64Hash,
+    "multiply-shift": MultiplyShiftHash,
+    "polynomial": PolynomialHash,
+    "tabulation": TabulationHash,
+}
+
+
+class SketchFormatError(ValueError):
+    """Raised for malformed, truncated or version-incompatible payloads."""
+
+
+# --------------------------------------------------------------------- #
+# Itemset keys
+# --------------------------------------------------------------------- #
+
+
+def _encode_key(key: Hashable):
+    """Type-tagged JSON encoding of an itemset key."""
+    if key is None or key is True or key is False:
+        return {"c": repr(key)}
+    if isinstance(key, int):
+        return {"i": str(key)}  # str: JSON numbers lose >53-bit precision
+    if isinstance(key, float):
+        return {"f": key}
+    if isinstance(key, str):
+        return {"s": key}
+    if isinstance(key, bytes):
+        return {"b": key.hex()}
+    if isinstance(key, tuple):
+        return {"t": [_encode_key(element) for element in key]}
+    raise SketchFormatError(
+        f"cannot serialize itemset key of type {type(key).__name__}"
+    )
+
+
+def _decode_key(payload) -> Hashable:
+    if not isinstance(payload, dict) or len(payload) != 1:
+        raise SketchFormatError(f"malformed key payload: {payload!r}")
+    ((tag, value),) = payload.items()
+    if tag == "c":
+        return {"None": None, "True": True, "False": False}[value]
+    if tag == "i":
+        return int(value)
+    if tag == "f":
+        return float(value)
+    if tag == "s":
+        return str(value)
+    if tag == "b":
+        return bytes.fromhex(value)
+    if tag == "t":
+        return tuple(_decode_key(element) for element in value)
+    raise SketchFormatError(f"unknown key tag {tag!r}")
+
+
+# --------------------------------------------------------------------- #
+# Components
+# --------------------------------------------------------------------- #
+
+
+def _hash_to_dict(function: HashFunction) -> dict:
+    for kind, cls in _HASH_KINDS.items():
+        if type(function) is cls:
+            payload = {"kind": kind, "seed": function.seed}
+            if isinstance(function, PolynomialHash):
+                payload["degree"] = function.degree
+            return payload
+    raise SketchFormatError(
+        f"cannot serialize hash of type {type(function).__name__}"
+    )
+
+
+def _hash_from_dict(payload: dict) -> HashFunction:
+    try:
+        cls = _HASH_KINDS[payload["kind"]]
+    except KeyError:
+        raise SketchFormatError(f"unknown hash kind in payload: {payload!r}") from None
+    if payload["kind"] == "polynomial":
+        return cls(payload["seed"], degree=payload.get("degree", 4))
+    return cls(payload["seed"])
+
+
+def _state_to_list(state: ItemsetState) -> list:
+    partners = (
+        None
+        if state.partners is None
+        else [[_encode_key(p), count] for p, count in state.partners.items()]
+    )
+    return [state.support, state.multiplicity_exceeded, state.violated, partners]
+
+
+def _state_from_list(payload) -> ItemsetState:
+    try:
+        support, exceeded, violated, partners = payload
+    except (TypeError, ValueError):
+        raise SketchFormatError(f"malformed itemset state: {payload!r}") from None
+    state = ItemsetState()
+    state.support = int(support)
+    state.multiplicity_exceeded = bool(exceeded)
+    state.violated = bool(violated)
+    if partners is None:
+        state.partners = None
+    else:
+        state.partners = {
+            _decode_key(key): int(count) for key, count in partners
+        }
+    return state
+
+
+def _bitmap_to_dict(bitmap: NIPSBitmap) -> dict:
+    return {
+        "fringe_start": bitmap.fringe_start,
+        "rightmost_hashed": bitmap.rightmost_hashed,
+        "tuples_seen": bitmap.tuples_seen,
+        "value_one": sorted(bitmap._value_one),
+        "cells": [
+            [
+                position,
+                [
+                    [_encode_key(itemset), _state_to_list(state)]
+                    for itemset, state in cell.items()
+                ],
+            ]
+            for position, cell in sorted(bitmap._cells.items())
+        ],
+    }
+
+
+def _bitmap_restore(bitmap: NIPSBitmap, payload: dict) -> None:
+    bitmap.fringe_start = int(payload["fringe_start"])
+    bitmap.rightmost_hashed = int(payload["rightmost_hashed"])
+    bitmap.tuples_seen = int(payload["tuples_seen"])
+    bitmap._value_one = set(int(p) for p in payload["value_one"])
+    bitmap._cells = {
+        int(position): {
+            _decode_key(key): _state_from_list(state) for key, state in cell
+        }
+        for position, cell in payload["cells"]
+    }
+
+
+def _conditions_to_dict(conditions: ImplicationConditions) -> dict:
+    return {
+        "max_multiplicity": conditions.max_multiplicity,
+        "min_support": conditions.min_support,
+        "top_c": conditions.top_c,
+        "min_top_confidence": conditions.min_top_confidence,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Estimator
+# --------------------------------------------------------------------- #
+
+
+def estimator_to_dict(estimator: ImplicationCountEstimator) -> dict:
+    """Structured (JSON-able) snapshot of an estimator's full state."""
+    return {
+        "version": _VERSION,
+        "conditions": _conditions_to_dict(estimator.conditions),
+        "num_bitmaps": estimator.num_bitmaps,
+        "length": estimator.length,
+        "fringe_size": estimator.fringe_size,
+        "capacity_slack": estimator.bitmaps[0].capacity_slack,
+        "bias_correction": estimator.bias_correction,
+        "tuples_seen": estimator.tuples_seen,
+        "hash": _hash_to_dict(estimator.hash_function),
+        "bitmaps": [_bitmap_to_dict(bitmap) for bitmap in estimator.bitmaps],
+    }
+
+
+def estimator_from_dict(payload: dict) -> ImplicationCountEstimator:
+    """Rebuild an estimator from :func:`estimator_to_dict` output."""
+    if payload.get("version") != _VERSION:
+        raise SketchFormatError(
+            f"unsupported sketch version {payload.get('version')!r}"
+        )
+    conditions = ImplicationConditions(**payload["conditions"])
+    estimator = ImplicationCountEstimator(
+        conditions,
+        num_bitmaps=int(payload["num_bitmaps"]),
+        fringe_size=payload["fringe_size"],
+        length=int(payload["length"]),
+        capacity_slack=int(payload["capacity_slack"]),
+        hash_function=_hash_from_dict(payload["hash"]),
+        bias_correction=bool(payload["bias_correction"]),
+    )
+    estimator.tuples_seen = int(payload["tuples_seen"])
+    bitmaps = payload["bitmaps"]
+    if len(bitmaps) != estimator.num_bitmaps:
+        raise SketchFormatError(
+            f"payload has {len(bitmaps)} bitmaps, header says "
+            f"{estimator.num_bitmaps}"
+        )
+    for bitmap, bitmap_payload in zip(estimator.bitmaps, bitmaps):
+        _bitmap_restore(bitmap, bitmap_payload)
+    return estimator
+
+
+def estimator_to_bytes(estimator: ImplicationCountEstimator) -> bytes:
+    """Compact wire encoding: magic + version + zlib-compressed JSON."""
+    body = json.dumps(
+        estimator_to_dict(estimator), separators=(",", ":")
+    ).encode("utf-8")
+    return _MAGIC + bytes([_VERSION]) + zlib.compress(body, level=6)
+
+
+def estimator_from_bytes(payload: bytes) -> ImplicationCountEstimator:
+    """Inverse of :func:`estimator_to_bytes` (validates magic and version)."""
+    if len(payload) < 5 or payload[:4] != _MAGIC:
+        raise SketchFormatError("not a NIPS sketch payload (bad magic)")
+    if payload[4] != _VERSION:
+        raise SketchFormatError(f"unsupported sketch version {payload[4]}")
+    try:
+        body = zlib.decompress(payload[5:])
+        decoded = json.loads(body)
+    except (zlib.error, json.JSONDecodeError) as error:
+        raise SketchFormatError(f"corrupt sketch payload: {error}") from error
+    return estimator_from_dict(decoded)

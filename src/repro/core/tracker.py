@@ -1,0 +1,240 @@
+"""Per-itemset bookkeeping shared by every implication algorithm.
+
+Section 4.3.4 of the paper describes the state kept for each LHS itemset
+``a`` that must be watched: a support counter ``sigma(a)``, one counter
+``sigma(a, b)`` per distinct RHS partner ``b`` (at most ``K`` of them — the
+``(K+1)``-th distinct partner proves a multiplicity violation), and the
+derived top-c confidence.  The same state machine is needed by
+
+* the NIPS fringe cells (:mod:`repro.core.nips`),
+* the exact reference counter (:mod:`repro.baselines.exact`),
+* distinct sampling (:mod:`repro.baselines.distinct_sampling`), and
+* the lossy-counting/sticky-sampling extensions (:mod:`repro.baselines`),
+
+so it lives here once, as :class:`ItemsetState` plus the dictionary-shaped
+:class:`ItemsetTracker`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterator
+
+from .conditions import ImplicationConditions, ItemsetStatus
+
+__all__ = ["ItemsetState", "ItemsetTracker"]
+
+
+class ItemsetState:
+    """Support and partner counters for a single LHS itemset.
+
+    The partner dictionary is bounded: once more than ``partner_bound``
+    distinct partners are seen, :attr:`multiplicity_exceeded` latches, the
+    counters are dropped (their confidence can no longer matter — the
+    itemset is doomed to violate as soon as it reaches minimum support) and
+    memory is reclaimed, exactly as the paper frees fringe-cell memory.
+    """
+
+    __slots__ = ("support", "partners", "multiplicity_exceeded", "violated")
+
+    def __init__(self) -> None:
+        self.support = 0
+        self.partners: dict[Hashable, int] | None = {}
+        self.multiplicity_exceeded = False
+        self.violated = False
+
+    @property
+    def multiplicity(self) -> int:
+        """Number of distinct partners tracked (meaningless once exceeded)."""
+        return len(self.partners) if self.partners is not None else 0
+
+    def observe(
+        self, partner: Hashable, conditions: ImplicationConditions, weight: int = 1
+    ) -> ItemsetStatus:
+        """Record one ``(a, partner)`` tuple and return the updated status.
+
+        ``weight`` folds several identical tuples into one call (used by the
+        batch update path and by generators that emit run-length encoded
+        streams).
+        """
+        self.support += weight
+        if not self.violated:
+            self._observe_partner(partner, conditions, weight)
+        return self.evaluate(conditions)
+
+    def _observe_partner(
+        self, partner: Hashable, conditions: ImplicationConditions, weight: int
+    ) -> None:
+        if self.partners is None:
+            return
+        if partner in self.partners:
+            self.partners[partner] += weight
+            return
+        bound = conditions.partner_bound
+        if bound is not None and len(self.partners) >= bound:
+            # The (K+1)-th distinct partner: multiplicity condition is lost
+            # forever, so drop the counters and remember only the fact.
+            self.multiplicity_exceeded = True
+            self.partners = None
+            return
+        self.partners[partner] = weight
+
+    def top_confidence(self, conditions: ImplicationConditions) -> float:
+        """Top-c confidence ``theta_c(a -> B)`` at the current moment.
+
+        Sum of the ``c`` largest partner counters over the support
+        (Section 3.1).  Returns 0.0 when the partner counters have been
+        dropped after a multiplicity violation.
+        """
+        if self.support == 0 or not self.partners:
+            return 0.0
+        if len(self.partners) <= conditions.top_c:
+            mass = sum(self.partners.values())
+        else:
+            mass = sum(heapq.nlargest(conditions.top_c, self.partners.values()))
+        return mass / self.support
+
+    def evaluate(self, conditions: ImplicationConditions) -> ItemsetStatus:
+        """Evaluate the (sticky) status against ``conditions``.
+
+        Violations latch: the method is called after every observation, so a
+        single dip below the confidence threshold while at minimum support
+        permanently excludes the itemset (Section 3.1.1).
+        """
+        if self.violated:
+            return ItemsetStatus.VIOLATED
+        if self.support < conditions.min_support:
+            return ItemsetStatus.PENDING
+        if self.multiplicity_exceeded:
+            self.violated = True
+        elif (
+            conditions.max_multiplicity is not None
+            and self.multiplicity > conditions.max_multiplicity
+        ):
+            self.violated = True
+        elif (
+            conditions.min_top_confidence > 0.0
+            and self.top_confidence(conditions) < conditions.min_top_confidence
+        ):
+            self.violated = True
+        if self.violated:
+            self.partners = None  # free partner memory, keep only the fact
+            return ItemsetStatus.VIOLATED
+        return ItemsetStatus.SATISFIED
+
+    def status(self, conditions: ImplicationConditions) -> ItemsetStatus:
+        """Current status without mutating anything (unlike :meth:`evaluate`)."""
+        if self.violated:
+            return ItemsetStatus.VIOLATED
+        if self.support < conditions.min_support:
+            return ItemsetStatus.PENDING
+        return ItemsetStatus.SATISFIED
+
+    def counter_count(self) -> int:
+        """Number of live counters (support + partners) — memory accounting."""
+        return 1 + (len(self.partners) if self.partners is not None else 0)
+
+    def merge(
+        self, other: "ItemsetState", conditions: ImplicationConditions
+    ) -> ItemsetStatus:
+        """Fold another node's state for the *same* itemset into this one.
+
+        Implements the distributed-aggregation semantics (Section 1's
+        sensor-network motivation): supports and partner counters add, a
+        violation recorded on either side stays (violations are sticky on
+        any sub-stream), and the merged totals are re-evaluated — so a
+        violation only visible in the combined counts (e.g. merged
+        multiplicity exceeding K) is caught here.
+
+        Note the approximation inherited from the sticky semantics being
+        order-dependent: confidence dips that would only occur in a
+        particular *interleaving* of the two sub-streams cannot be
+        reconstructed from the final states and are not latched.
+        """
+        self.support += other.support
+        if other.violated or other.multiplicity_exceeded:
+            self.multiplicity_exceeded = (
+                self.multiplicity_exceeded or other.multiplicity_exceeded
+            )
+            self.violated = self.violated or other.violated
+            if self.violated or self.multiplicity_exceeded:
+                self.partners = None
+        if self.partners is not None and other.partners is not None:
+            bound = conditions.partner_bound
+            for partner, count in other.partners.items():
+                if partner in self.partners:
+                    self.partners[partner] += count
+                elif bound is not None and len(self.partners) >= bound:
+                    self.multiplicity_exceeded = True
+                    self.partners = None
+                    break
+                else:
+                    self.partners[partner] = count
+        return self.evaluate(conditions)
+
+    def __repr__(self) -> str:
+        return (
+            f"ItemsetState(support={self.support}, "
+            f"multiplicity={self.multiplicity}, violated={self.violated})"
+        )
+
+
+class ItemsetTracker:
+    """A dictionary of :class:`ItemsetState` keyed by LHS itemset.
+
+    This is the unbounded-memory building block; bounded algorithms embed
+    states inside their own structures (fringe cells, samples) instead.
+    """
+
+    def __init__(self, conditions: ImplicationConditions) -> None:
+        self.conditions = conditions
+        self._states: dict[Hashable, ItemsetState] = {}
+
+    def observe(
+        self, itemset: Hashable, partner: Hashable, weight: int = 1
+    ) -> ItemsetStatus:
+        """Record one ``(itemset, partner)`` tuple; return the new status."""
+        state = self._states.get(itemset)
+        if state is None:
+            state = self._states[itemset] = ItemsetState()
+        return state.observe(partner, self.conditions, weight)
+
+    def state(self, itemset: Hashable) -> ItemsetState | None:
+        return self._states.get(itemset)
+
+    def status(self, itemset: Hashable) -> ItemsetStatus:
+        state = self._states.get(itemset)
+        if state is None:
+            return ItemsetStatus.PENDING
+        return state.status(self.conditions)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._states)
+
+    def items(self) -> Iterator[tuple[Hashable, ItemsetState]]:
+        return iter(self._states.items())
+
+    def supported_count(self) -> int:
+        """Distinct itemsets meeting minimum support (``F0_sup`` exactly)."""
+        tau = self.conditions.min_support
+        return sum(1 for state in self._states.values() if state.support >= tau)
+
+    def satisfied_count(self) -> int:
+        """Exact implication count ``S`` under the sticky semantics."""
+        tau = self.conditions.min_support
+        return sum(
+            1
+            for state in self._states.values()
+            if state.support >= tau and not state.violated
+        )
+
+    def violated_count(self) -> int:
+        """Exact non-implication count ``S-bar``."""
+        return sum(1 for state in self._states.values() if state.violated)
+
+    def counter_count(self) -> int:
+        """Total live counters across all states — memory accounting."""
+        return sum(state.counter_count() for state in self._states.values())

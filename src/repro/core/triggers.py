@@ -1,0 +1,193 @@
+"""Threshold triggers over implication statistics (Section 2).
+
+"One can associate triggers when such implication counts exceed certain
+thresholds and could, for example, reroute traffic."  This module is that
+association: a :class:`Trigger` watches any zero-argument statistic (an
+estimator method, a query-engine result, a coordinator readout), fires when
+it crosses a threshold, and clears with hysteresis so estimator noise near
+the line does not flap the alarm.  :class:`BaselineTrigger` derives its
+threshold from an observed quiet-period baseline — the practical form for
+statistics whose absolute level depends on traffic volume.
+
+A :class:`TriggerBoard` polls many triggers at once and keeps the event
+history, which is what a monitoring loop actually wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["TriggerEvent", "Trigger", "BaselineTrigger", "TriggerBoard"]
+
+#: A zero-argument statistic readout (e.g. ``estimator.nonimplication_count``).
+Statistic = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One state change of a trigger."""
+
+    trigger: str
+    kind: str  # "raised" | "cleared"
+    value: float
+    threshold: float
+    at: int  # poll clock (typically tuples seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"TriggerEvent({self.trigger!r} {self.kind} at {self.at}: "
+            f"{self.value:.1f} vs {self.threshold:.1f})"
+        )
+
+
+class Trigger:
+    """A fixed threshold with hysteresis over a statistic.
+
+    Parameters
+    ----------
+    name:
+        Event label.
+    statistic:
+        Callable returning the watched value.
+    threshold:
+        Fire when the value exceeds this.
+    clear_below:
+        Clear when the value falls below this (defaults to ``threshold``;
+        set lower to add hysteresis — recommended, since sketch readouts
+        move in powers-of-two steps).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        statistic: Statistic,
+        threshold: float,
+        clear_below: float | None = None,
+    ) -> None:
+        clear_below = threshold if clear_below is None else clear_below
+        if clear_below > threshold:
+            raise ValueError(
+                f"clear_below ({clear_below}) must not exceed threshold "
+                f"({threshold})"
+            )
+        self.name = name
+        self.statistic = statistic
+        self.threshold = threshold
+        self.clear_below = clear_below
+        self.raised = False
+
+    def ready(self) -> bool:
+        """Is the trigger armed (able to evaluate its threshold)?"""
+        return True
+
+    def current_threshold(self) -> float:
+        return self.threshold
+
+    def poll(self, at: int) -> TriggerEvent | None:
+        """Evaluate once; return a state-change event or ``None``."""
+        if not self.ready():
+            return None
+        value = float(self.statistic())
+        threshold = self.current_threshold()
+        if not self.raised and value > threshold:
+            self.raised = True
+            return TriggerEvent(self.name, "raised", value, threshold, at)
+        if self.raised and value < min(self.clear_below, threshold):
+            self.raised = False
+            return TriggerEvent(self.name, "cleared", value, threshold, at)
+        return None
+
+    def __repr__(self) -> str:
+        state = "raised" if self.raised else "quiet"
+        return f"Trigger({self.name!r}, >{self.threshold}, {state})"
+
+
+class BaselineTrigger(Trigger):
+    """Fire when the statistic exceeds its quiet-period baseline by a jump.
+
+    The baseline is captured at the first poll at or after ``arm_at``; the
+    trigger is inert before that.  ``clear_fraction`` sets the hysteresis
+    band as a fraction of the jump.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        statistic: Statistic,
+        jump: float,
+        arm_at: int,
+        clear_fraction: float = 0.5,
+    ) -> None:
+        if jump <= 0:
+            raise ValueError(f"jump must be > 0, got {jump}")
+        if not 0.0 <= clear_fraction <= 1.0:
+            raise ValueError(
+                f"clear_fraction must be in [0, 1], got {clear_fraction}"
+            )
+        super().__init__(name, statistic, threshold=float("inf"))
+        self.jump = jump
+        self.arm_at = arm_at
+        self.clear_fraction = clear_fraction
+        self.baseline: float | None = None
+
+    def ready(self) -> bool:
+        return self.baseline is not None
+
+    def current_threshold(self) -> float:
+        assert self.baseline is not None
+        return self.baseline + self.jump
+
+    def poll(self, at: int) -> TriggerEvent | None:
+        if self.baseline is None:
+            if at >= self.arm_at:
+                self.baseline = float(self.statistic())
+                self.clear_below = self.baseline + self.jump * self.clear_fraction
+            return None
+        return super().poll(at)
+
+    def __repr__(self) -> str:
+        armed = f"baseline={self.baseline:.1f}" if self.ready() else "unarmed"
+        return f"BaselineTrigger({self.name!r}, +{self.jump}, {armed})"
+
+
+class TriggerBoard:
+    """Poll a set of triggers together and keep the event history."""
+
+    def __init__(self, triggers: Iterable[Trigger] = ()) -> None:
+        self._triggers: dict[str, Trigger] = {}
+        for trigger in triggers:
+            self.add(trigger)
+        self.events: list[TriggerEvent] = []
+
+    def add(self, trigger: Trigger) -> None:
+        if trigger.name in self._triggers:
+            raise ValueError(f"a trigger named {trigger.name!r} already exists")
+        self._triggers[trigger.name] = trigger
+
+    def poll(self, at: int) -> list[TriggerEvent]:
+        """Poll every trigger; record and return new events."""
+        fired = []
+        for trigger in self._triggers.values():
+            event = trigger.poll(at)
+            if event is not None:
+                fired.append(event)
+        self.events.extend(fired)
+        return fired
+
+    def raised(self) -> list[str]:
+        """Names of currently-raised triggers."""
+        return sorted(
+            name for name, trigger in self._triggers.items() if trigger.raised
+        )
+
+    def history(self, trigger: str | None = None) -> list[TriggerEvent]:
+        if trigger is None:
+            return list(self.events)
+        return [event for event in self.events if event.trigger == trigger]
+
+    def __len__(self) -> int:
+        return len(self._triggers)
+
+    def __repr__(self) -> str:
+        return f"TriggerBoard(triggers={len(self)}, raised={self.raised()})"

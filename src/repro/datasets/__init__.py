@@ -1,0 +1,35 @@
+"""Datasets: the Table 1 toy relation, Dataset One, and the simulated OLAP
+stream (the paper's proprietary real-world data, substituted per DESIGN.md
+D4)."""
+
+from .network import (
+    NETWORK_SCHEMA,
+    NetworkTrafficGenerator,
+    ScenarioEvent,
+    table1_relation,
+)
+from .olap import (
+    TABLE3_CARDINALITIES,
+    TABLE4_CHECKPOINTS,
+    TABLE4_FULL_TUPLES,
+    OlapStreamGenerator,
+    workload_columns,
+    workload_conditions,
+)
+from .synthetic import DatasetOne, GroundTruth, generate_dataset_one
+
+__all__ = [
+    "NETWORK_SCHEMA",
+    "NetworkTrafficGenerator",
+    "ScenarioEvent",
+    "table1_relation",
+    "TABLE3_CARDINALITIES",
+    "TABLE4_CHECKPOINTS",
+    "TABLE4_FULL_TUPLES",
+    "OlapStreamGenerator",
+    "workload_columns",
+    "workload_conditions",
+    "DatasetOne",
+    "GroundTruth",
+    "generate_dataset_one",
+]

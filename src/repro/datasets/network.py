@@ -1,0 +1,189 @@
+"""Network-traffic data: the Table 1 toy relation and a scenario generator.
+
+The paper's running example is a router observing tuples
+``(source, destination, service, time)``.  Two artifacts live here:
+
+* :func:`table1_relation` — the exact eight tuples of Table 1, used by the
+  quickstart example and by tests that check the worked examples of
+  Sections 1 and 3.1.2 (implication counts of 2, top-confidence of P2P,
+  etc.) against the library.
+* :class:`NetworkTrafficGenerator` — a synthetic router feed with injectable
+  anomalies that implication statistics are designed to catch (Section 2):
+  **flash crowds** (a huge number of sources converging on one destination),
+  **DDoS** floods (many spoofed sources, one victim), and **port scans**
+  (one source probing many destinations).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..stream.schema import Relation, Schema
+
+__all__ = [
+    "NETWORK_SCHEMA",
+    "table1_relation",
+    "ScenarioEvent",
+    "NetworkTrafficGenerator",
+]
+
+NETWORK_SCHEMA = Schema(["source", "destination", "service", "time"])
+
+_TABLE1_ROWS = [
+    ("S1", "D2", "WWW", "Morning"),
+    ("S2", "D1", "FTP", "Morning"),
+    ("S1", "D3", "WWW", "Morning"),
+    ("S2", "D1", "P2P", "Noon"),
+    ("S1", "D3", "P2P", "Afternoon"),
+    ("S1", "D3", "WWW", "Afternoon"),
+    ("S1", "D3", "P2P", "Afternoon"),
+    ("S3", "D3", "P2P", "Night"),
+]
+
+_SERVICES = ("WWW", "FTP", "P2P", "DNS", "SSH", "SMTP")
+_TIMES = ("Morning", "Noon", "Afternoon", "Night")
+
+
+def table1_relation() -> Relation:
+    """The example network traffic data of Table 1, verbatim."""
+    return Relation(NETWORK_SCHEMA, _TABLE1_ROWS)
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """An anomaly injected into the generated feed.
+
+    Parameters
+    ----------
+    kind:
+        ``"flash_crowd"``, ``"ddos"`` or ``"port_scan"``.
+    start / duration:
+        Tuple positions the event spans.
+    intensity:
+        Fraction of tuples within the span that belong to the event.
+    target:
+        Name prefix of the focal hosts: the crowded/attacked destinations,
+        or the scanning sources for a port scan.
+    spread:
+        Number of focal hosts (``{target}-0 .. {target}-{spread-1}``) —
+        DDoS victims share a service; a scan comes from a botnet.  Counting
+        statistics see an anomaly as a *population* shift, so a detectable
+        event involves more than one focal host.
+    pool:
+        Size of the recycled counterpart pool (spoofed source addresses, or
+        probed destinations).  Finite and recycled, as real spoofing from a
+        subnet is, which keeps the distinct-host explosion bounded.
+    """
+
+    kind: str
+    start: int
+    duration: int
+    intensity: float = 0.5
+    target: str = "D-hot"
+    spread: int = 50
+    pool: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("flash_crowd", "ddos", "port_scan"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.start < 0 or self.duration < 1:
+            raise ValueError("event needs start >= 0 and duration >= 1")
+        if not 0.0 < self.intensity <= 1.0:
+            raise ValueError(f"intensity must be in (0, 1], got {self.intensity}")
+        if self.spread < 1 or self.pool < 1:
+            raise ValueError("spread and pool must be >= 1")
+
+    def active_at(self, position: int) -> bool:
+        return self.start <= position < self.start + self.duration
+
+
+class NetworkTrafficGenerator:
+    """A synthetic router feed over the Table 1 schema.
+
+    Baseline traffic draws sources and destinations from skewed (Zipf-like)
+    pools — a few busy hosts, a long tail — with services and times uniform.
+    Events overlay anomalous tuples whose implication signature differs:
+
+    * ``flash_crowd`` / ``ddos``: many fresh sources all hitting one
+      destination — drives "destinations contacted by more than N sources"
+      (one-to-many complement) and collapses "destination implies source"
+      one-to-one counts.
+    * ``port_scan``: one source contacting many fresh destinations — drives
+      the "source contacts more than N destinations" statistic.
+    """
+
+    def __init__(
+        self,
+        num_sources: int = 500,
+        num_destinations: int = 200,
+        events: list[ScenarioEvent] | None = None,
+        skew: float = 1.1,
+        seed: int = 0,
+    ) -> None:
+        if num_sources < 1 or num_destinations < 1:
+            raise ValueError("need at least one source and one destination")
+        self.num_sources = num_sources
+        self.num_destinations = num_destinations
+        self.events = list(events or [])
+        self.skew = skew
+        self.seed = seed
+        self.schema = NETWORK_SCHEMA
+
+    def _zipf_choice(self, rng: random.Random, cardinality: int) -> int:
+        """Skewed index choice: rank r with weight ~ 1 / r**skew."""
+        # Inverse-CDF on the fly would need the normalizer; rejection from a
+        # Pareto-shaped proposal is simpler and exact enough for a feed.
+        while True:
+            value = int(rng.paretovariate(self.skew))
+            if 1 <= value <= cardinality:
+                return value - 1
+
+    def tuples(self, count: int) -> Iterator[tuple[str, str, str, str]]:
+        """Yield ``count`` positional tuples of the feed."""
+        rng = random.Random(self.seed)
+        for position in range(count):
+            event = self._active_event(position, rng)
+            if event is not None:
+                yield self._event_tuple(event, position, rng)
+            else:
+                yield self._baseline_tuple(rng)
+
+    def _active_event(
+        self, position: int, rng: random.Random
+    ) -> ScenarioEvent | None:
+        for event in self.events:
+            if event.active_at(position) and rng.random() < event.intensity:
+                return event
+        return None
+
+    def _baseline_tuple(self, rng: random.Random) -> tuple[str, str, str, str]:
+        source = f"S{self._zipf_choice(rng, self.num_sources)}"
+        destination = f"D{self._zipf_choice(rng, self.num_destinations)}"
+        return (
+            source,
+            destination,
+            rng.choice(_SERVICES),
+            rng.choice(_TIMES),
+        )
+
+    def _event_tuple(
+        self, event: ScenarioEvent, position: int, rng: random.Random
+    ) -> tuple[str, str, str, str]:
+        time_of_day = rng.choice(_TIMES)
+        focal = f"{event.target}-{rng.randrange(event.spread)}"
+        if event.kind in ("flash_crowd", "ddos"):
+            # Many (possibly spoofed) sources converge on the focal
+            # destinations: fan-in explodes.
+            source = f"S-{event.kind}-{rng.randrange(event.pool)}"
+            service = "WWW" if event.kind == "flash_crowd" else rng.choice(_SERVICES)
+            return (source, focal, service, time_of_day)
+        # port_scan: the focal (botnet) sources probe many destinations:
+        # fan-out explodes.
+        destination = f"D-probe-{rng.randrange(event.pool)}"
+        return (focal, destination, rng.choice(_SERVICES), time_of_day)
+
+    def relation(self, count: int) -> Relation:
+        """Materialize ``count`` tuples as a :class:`Relation`."""
+        return Relation(self.schema, self.tuples(count))

@@ -1,0 +1,223 @@
+"""Dataset One — the synthetic workload of Section 6.1, vectorized.
+
+The generator imposes a *known* implication structure so the estimation
+error of Figures 4–6 can be measured directly:
+
+* ``S`` **participating** itemsets: each appears with ``u ~ U[1, c]`` main
+  partners (``tuples_per_pair`` tuples per pair) plus four one-tuple noise
+  partners — minimum support 54, top-c confidence >= 50/54 ~ 92.6%, so they
+  satisfy the conditions (min support 50, top-c confidence 90%).
+* ``(|A| - S) / 3`` **confidence violators**: ``c`` main partners plus
+  ``8 c`` one-tuple noise partners — top-c confidence 50c/58c ~ 86.2% < 90%.
+  (The paper writes 8 noise tuples; for ``c >= 2`` that leaves confidence
+  above the threshold, so the noise scales with ``c`` — DESIGN.md D3.)
+* ``(|A| - S) / 3`` **multiplicity violators**: ``u ~ U[K+1, K+10]``
+  distinct partners within 50 tuples, where ``K`` is the hard multiplicity
+  cap (``10 c``; DESIGN.md D2 explains why the cap must exceed ``c + 4``).
+* the rest, **support violators**: a single pair written 40 < 50 times —
+  these never reach minimum support and contribute to *neither* count.
+
+Streams are integer-encoded ``uint64`` column pairs ready for the
+vectorized estimator path; ground truth is known by construction and is
+also re-derivable through :class:`~repro.baselines.exact.ExactImplicationCounter`
+(tests do both and require agreement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.conditions import ImplicationConditions
+
+__all__ = ["GroundTruth", "DatasetOne", "generate_dataset_one"]
+
+#: Section 6.1 constants.
+TUPLES_PER_PAIR = 50
+PARTICIPANT_NOISE_PARTNERS = 4
+SUPPORT_VIOLATOR_TUPLES = 40
+MIN_TOP_CONFIDENCE = 0.9
+MULTIPLICITY_CAP_FACTOR = 10
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact composition of a generated dataset."""
+
+    satisfied: int
+    violated_confidence: int
+    violated_multiplicity: int
+    pending_support: int
+
+    @property
+    def violated(self) -> int:
+        """The non-implication count ``S-bar``."""
+        return self.violated_confidence + self.violated_multiplicity
+
+    @property
+    def supported(self) -> int:
+        """``F0_sup``: itemsets meeting minimum support."""
+        return self.satisfied + self.violated
+
+
+@dataclass(frozen=True)
+class DatasetOne:
+    """A generated Section 6.1 stream plus its ground truth."""
+
+    lhs: np.ndarray
+    rhs: np.ndarray
+    conditions: ImplicationConditions
+    cardinality: int
+    c: int
+    truth: GroundTruth
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.lhs)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate the stream as Python ``(a, b)`` pairs (scalar path)."""
+        for a, b in zip(self.lhs.tolist(), self.rhs.tolist()):
+            yield a, b
+
+
+def generate_dataset_one(
+    cardinality: int,
+    implied_count: int,
+    c: int = 1,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> DatasetOne:
+    """Generate a Dataset One stream (Section 6.1 recipe).
+
+    Parameters
+    ----------
+    cardinality:
+        ``|A|`` — total distinct LHS itemsets to create.
+    implied_count:
+        ``S`` — how many of them satisfy the implication conditions
+        (the figures sweep 10%–90% of ``|A|``).
+    c:
+        The one-to-c arity (Figures 4, 5, 6 use 1, 2, 4).
+    seed:
+        Drives partner multiplicities, shuffling, and id assignment.
+    shuffle:
+        Randomly permute the stream (the paper shuffles to demonstrate
+        order independence; tests exercise both orders).
+    """
+    if cardinality < 3:
+        raise ValueError(f"cardinality must be >= 3, got {cardinality}")
+    if not 0 < implied_count < cardinality:
+        raise ValueError(
+            f"implied_count must be in (0, cardinality), got {implied_count}"
+        )
+    if c < 1:
+        raise ValueError(f"c must be >= 1, got {c}")
+    if MULTIPLICITY_CAP_FACTOR * c + 10 > TUPLES_PER_PAIR:
+        raise ValueError(
+            f"c={c} is too large: multiplicity violators need up to "
+            f"{MULTIPLICITY_CAP_FACTOR * c + 10} distinct partners within "
+            f"{TUPLES_PER_PAIR} tuples (the paper sweeps c in {{1, 2, 4}})"
+        )
+
+    rng = np.random.default_rng(seed)
+    hard_cap = MULTIPLICITY_CAP_FACTOR * c
+    conditions = ImplicationConditions(
+        max_multiplicity=hard_cap,
+        min_support=TUPLES_PER_PAIR,
+        top_c=c,
+        min_top_confidence=MIN_TOP_CONFIDENCE,
+    )
+
+    noise_total = cardinality - implied_count
+    num_confidence = noise_total // 3
+    num_multiplicity = noise_total // 3
+    num_support = noise_total - num_confidence - num_multiplicity
+
+    lhs_parts: list[np.ndarray] = []
+    rhs_parts: list[np.ndarray] = []
+    next_partner = np.int64(1) << np.int64(33)  # RHS ids disjoint from LHS ids
+    next_itemset = 0
+
+    def allocate_itemsets(count: int) -> np.ndarray:
+        nonlocal next_itemset
+        ids = np.arange(next_itemset, next_itemset + count, dtype=np.int64)
+        next_itemset += count
+        return ids
+
+    def allocate_partners(count: int) -> np.ndarray:
+        nonlocal next_partner
+        ids = np.arange(next_partner, next_partner + count, dtype=np.int64)
+        next_partner += count
+        return ids
+
+    def emit_main_pairs(itemset_ids: np.ndarray, partners_per_itemset: np.ndarray):
+        """Write ``TUPLES_PER_PAIR`` tuples for each (itemset, partner) pair."""
+        pair_owners = np.repeat(itemset_ids, partners_per_itemset)
+        pair_partners = allocate_partners(len(pair_owners))
+        lhs_parts.append(np.repeat(pair_owners, TUPLES_PER_PAIR))
+        rhs_parts.append(np.repeat(pair_partners, TUPLES_PER_PAIR))
+
+    def emit_singletons(itemset_ids: np.ndarray, per_itemset: np.ndarray | int):
+        """Write one tuple for each of ``per_itemset`` fresh partners."""
+        owners = np.repeat(itemset_ids, per_itemset)
+        lhs_parts.append(owners)
+        rhs_parts.append(allocate_partners(len(owners)))
+
+    # --- participants: u ~ U[1, c] mains x50 + 4 singleton partners -------
+    participants = allocate_itemsets(implied_count)
+    participant_u = rng.integers(1, c + 1, size=implied_count)
+    emit_main_pairs(participants, participant_u)
+    emit_singletons(participants, PARTICIPANT_NOISE_PARTNERS)
+
+    # --- confidence violators: c mains x50 + 8c singleton partners --------
+    if num_confidence:
+        confidence_ids = allocate_itemsets(num_confidence)
+        emit_main_pairs(confidence_ids, np.full(num_confidence, c))
+        emit_singletons(confidence_ids, 8 * c)
+
+    # --- multiplicity violators: u ~ U[K+1, K+10] partners in 50 tuples ---
+    if num_multiplicity:
+        multiplicity_ids = allocate_itemsets(num_multiplicity)
+        partner_counts = rng.integers(hard_cap + 1, hard_cap + 11, size=num_multiplicity)
+        owners = np.repeat(multiplicity_ids, partner_counts)
+        partners = allocate_partners(len(owners))
+        lhs_parts.append(owners)
+        rhs_parts.append(partners)
+        # Pad each itemset to exactly 50 tuples on its first partner.
+        pad = TUPLES_PER_PAIR - partner_counts
+        first_partner_index = np.concatenate(([0], np.cumsum(partner_counts)[:-1]))
+        lhs_parts.append(np.repeat(multiplicity_ids, pad))
+        rhs_parts.append(np.repeat(partners[first_partner_index], pad))
+
+    # --- support violators: one pair written 40 times ---------------------
+    if num_support:
+        support_ids = allocate_itemsets(num_support)
+        owners = np.repeat(support_ids, SUPPORT_VIOLATOR_TUPLES)
+        partners = np.repeat(allocate_partners(num_support), SUPPORT_VIOLATOR_TUPLES)
+        lhs_parts.append(owners)
+        rhs_parts.append(partners)
+
+    lhs = np.concatenate(lhs_parts).astype(np.uint64)
+    rhs = np.concatenate(rhs_parts).astype(np.uint64)
+    if shuffle:
+        order = rng.permutation(len(lhs))
+        lhs = lhs[order]
+        rhs = rhs[order]
+
+    truth = GroundTruth(
+        satisfied=implied_count,
+        violated_confidence=num_confidence,
+        violated_multiplicity=num_multiplicity,
+        pending_support=num_support,
+    )
+    return DatasetOne(
+        lhs=lhs,
+        rhs=rhs,
+        conditions=conditions,
+        cardinality=cardinality,
+        c=c,
+        truth=truth,
+    )

@@ -1,0 +1,12 @@
+"""Distributed aggregation: local sketching nodes, coordinators and
+aggregation trees (the paper's sensor-network / router-hierarchy setting).
+
+Sketches travel, tuples don't: a node summarizes its sub-stream into a
+NIPS/CI sketch a few KB in size and ships that; merge points combine
+sketches losslessly with respect to recorded non-implications.
+"""
+
+from .coordinator import AggregationTree, Coordinator
+from .node import StreamNode
+
+__all__ = ["StreamNode", "Coordinator", "AggregationTree"]

@@ -1,0 +1,131 @@
+"""Aggregation of node sketches: a coordinator and a router hierarchy.
+
+Two aggregation shapes:
+
+* :class:`Coordinator` — a star: every node ships its snapshot to one
+  aggregator, which rebuilds the merged estimate from the *latest* snapshot
+  per node (idempotent; a re-sent or reordered snapshot cannot
+  double-count).
+* :class:`AggregationTree` — a k-ary hierarchy (leaf routers to core
+  routers): each interior node merges its children's sketches and ships a
+  single sketch upward, so per-link bandwidth is one sketch regardless of
+  the subtree's traffic — the paper's "first hop … last hop" DDoS
+  observation works precisely because small per-leaf contributions survive
+  aggregation (Section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.estimator import ImplicationCountEstimator
+from .node import StreamNode
+
+__all__ = ["Coordinator", "AggregationTree"]
+
+
+class Coordinator:
+    """Star-topology aggregator over the latest snapshot per node."""
+
+    def __init__(self, template: ImplicationCountEstimator) -> None:
+        self.template = template
+        self._latest: dict[str, bytes] = {}
+        self.bytes_received = 0
+
+    def receive(self, node_name: str, payload: bytes) -> None:
+        """Store a node's latest snapshot (replacing any earlier one)."""
+        self._latest[node_name] = payload
+        self.bytes_received += len(payload)
+
+    def sync(self, nodes: Iterable[StreamNode]) -> None:
+        """Pull a fresh snapshot from every node (convenience for sims)."""
+        for node in nodes:
+            self.receive(node.name, node.snapshot())
+
+    def merged_estimator(self) -> ImplicationCountEstimator:
+        """Rebuild the union estimator from the latest snapshots."""
+        merged = self.template.spawn_sibling()
+        for payload in self._latest.values():
+            merged.merge(ImplicationCountEstimator.from_bytes(payload))
+        return merged
+
+    def implication_count(self) -> float:
+        return self.merged_estimator().implication_count()
+
+    def nonimplication_count(self) -> float:
+        return self.merged_estimator().nonimplication_count()
+
+    def supported_distinct_count(self) -> float:
+        return self.merged_estimator().supported_distinct_count()
+
+    @property
+    def node_count(self) -> int:
+        return len(self._latest)
+
+    def __repr__(self) -> str:
+        return (
+            f"Coordinator(nodes={self.node_count}, "
+            f"received={self.bytes_received:,} bytes)"
+        )
+
+
+class AggregationTree:
+    """A k-ary aggregation hierarchy over a set of leaf nodes.
+
+    Leaves are :class:`StreamNode` instances; interior levels are pure
+    merge points.  :meth:`sync` performs one bottom-up aggregation round
+    and returns the root estimator; :attr:`link_bytes` records the traffic
+    each level shipped upward, demonstrating the O(sketch)-per-link
+    bandwidth that makes in-network aggregation viable.
+    """
+
+    def __init__(
+        self,
+        template: ImplicationCountEstimator,
+        leaves: Sequence[StreamNode],
+        fanout: int = 4,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if not leaves:
+            raise ValueError("an aggregation tree needs at least one leaf")
+        self.template = template
+        self.leaves = list(leaves)
+        self.fanout = fanout
+        #: bytes shipped upward per level during the last sync, leaf level
+        #: first.
+        self.link_bytes: list[int] = []
+
+    def sync(self) -> ImplicationCountEstimator:
+        """One aggregation round: merge sketches level by level to the root."""
+        self.link_bytes = []
+        payloads = [leaf.snapshot() for leaf in self.leaves]
+        self.link_bytes.append(sum(len(p) for p in payloads))
+        while len(payloads) > 1:
+            next_level: list[bytes] = []
+            for start in range(0, len(payloads), self.fanout):
+                group = payloads[start : start + self.fanout]
+                merged = self.template.spawn_sibling()
+                for payload in group:
+                    merged.merge(ImplicationCountEstimator.from_bytes(payload))
+                next_level.append(merged.to_bytes())
+            self.link_bytes.append(sum(len(p) for p in next_level))
+            payloads = next_level
+        root = ImplicationCountEstimator.from_bytes(payloads[0])
+        return root
+
+    @property
+    def depth(self) -> int:
+        """Number of aggregation levels above the leaves."""
+        levels = 0
+        width = len(self.leaves)
+        while width > 1:
+            width = -(-width // self.fanout)
+            levels += 1
+        return levels
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationTree(leaves={len(self.leaves)}, fanout={self.fanout}, "
+            f"depth={self.depth})"
+        )

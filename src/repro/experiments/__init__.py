@@ -1,0 +1,52 @@
+"""Reproduction experiments: one module per paper artifact plus ablations.
+
+The pytest-benchmark harnesses under ``benchmarks/`` are thin wrappers over
+these functions; the same entry points are reachable from the command line
+via ``repro-experiments`` (see :mod:`repro.cli`).
+"""
+
+from .ablations import (
+    run_aggregate_ablation,
+    run_epsdelta_ablation,
+    run_fringe_ablation,
+    run_hash_family_ablation,
+    run_heavy_hitter_ablation,
+    run_sketch_comparison,
+    run_throughput,
+)
+from .dataset_one import (
+    FigurePoint,
+    format_figure,
+    run_dataset_one_figure,
+    run_dataset_one_point,
+)
+from .olap_workloads import (
+    ALGORITHM_NAMES,
+    CheckpointRow,
+    WorkloadRun,
+    format_table4,
+    format_workload_errors,
+    run_table4,
+    run_workload,
+)
+
+__all__ = [
+    "FigurePoint",
+    "run_dataset_one_point",
+    "run_dataset_one_figure",
+    "format_figure",
+    "ALGORITHM_NAMES",
+    "CheckpointRow",
+    "WorkloadRun",
+    "run_workload",
+    "run_table4",
+    "format_table4",
+    "format_workload_errors",
+    "run_fringe_ablation",
+    "run_sketch_comparison",
+    "run_epsdelta_ablation",
+    "run_throughput",
+    "run_heavy_hitter_ablation",
+    "run_hash_family_ablation",
+    "run_aggregate_ablation",
+]

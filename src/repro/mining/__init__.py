@@ -1,0 +1,7 @@
+"""Mining applications built on implication counts: approximate-dependency
+discovery and dependency-aware synopsis planning (Section 2)."""
+
+from .dependencies import DependencyFinder, DependencyScore
+from .synopsis import SynopsisPlan, plan_synopsis
+
+__all__ = ["DependencyFinder", "DependencyScore", "SynopsisPlan", "plan_synopsis"]

@@ -1,0 +1,169 @@
+"""Approximate-dependency discovery via implication counts (Section 2).
+
+Two of the paper's motivating applications become one tool here:
+
+* **Approximate dependencies** — "functional dependencies that almost
+  hold" (Kivinen & Mannila): the *strength* of ``A -> B`` is the fraction
+  of supported ``A`` itemsets that imply ``B`` under a noise-tolerant
+  one-to-one condition.
+* **CORDS-style discovery** (the paper's related-work pointer): sweep the
+  attribute pairs of a schema, score each direction, and report the soft
+  dependencies and correlations — the preprocessing step the paper
+  suggests for dependency-aware histogram synopses.
+
+The scorer runs on either backend: exact hash tables for offline tables,
+NIPS/CI sketches when the attribute cardinalities are too large — which is
+precisely when knowing the dependencies matters most.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..baselines.exact import ExactImplicationCounter
+from ..core.conditions import ImplicationConditions
+from ..core.estimator import ImplicationCountEstimator
+from ..stream.schema import Relation, Schema
+
+__all__ = ["DependencyScore", "DependencyFinder"]
+
+
+@dataclass(frozen=True)
+class DependencyScore:
+    """Strength of one directed soft dependency ``lhs -> rhs``."""
+
+    lhs: str
+    rhs: str
+    holding: float
+    supported: float
+
+    @property
+    def strength(self) -> float:
+        """Fraction of supported LHS values implying a single RHS value."""
+        if self.supported <= 0:
+            return 0.0
+        return min(self.holding / self.supported, 1.0)
+
+    def is_dependency(self, threshold: float = 0.95) -> bool:
+        return self.strength >= threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencyScore({self.lhs} -> {self.rhs}, "
+            f"strength={self.strength:.2f})"
+        )
+
+
+class DependencyFinder:
+    """Score every directed attribute pair of a relation in one pass.
+
+    Parameters
+    ----------
+    schema:
+        The table's schema; all ordered attribute pairs are scored unless
+        ``pairs`` restricts them.
+    noise_tolerance:
+        Per-LHS-value exception budget: an ``A`` value still counts as
+        determining ``B`` when its dominant ``B`` value covers at least
+        ``1 - noise_tolerance`` of its tuples.  Remember the sticky
+        semantics: a value whose confidence *ever* dips below the floor is
+        excluded, so leave headroom over the raw noise rate.
+    min_support:
+        LHS values with fewer tuples are ignored (rare values carry no
+        evidence either way).
+    backend:
+        ``"exact"`` or ``"sketch"``.
+    pairs:
+        Optional explicit list of ``(lhs, rhs)`` attribute pairs.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        noise_tolerance: float = 0.05,
+        min_support: int = 3,
+        backend: str = "exact",
+        pairs: Sequence[tuple[str, str]] | None = None,
+        **estimator_kwargs,
+    ) -> None:
+        if backend not in ("exact", "sketch"):
+            raise ValueError(f"backend must be 'exact' or 'sketch', got {backend!r}")
+        if not 0.0 <= noise_tolerance < 1.0:
+            raise ValueError(
+                f"noise_tolerance must be in [0, 1), got {noise_tolerance}"
+            )
+        self.schema = schema
+        self.conditions = ImplicationConditions(
+            max_multiplicity=None,
+            min_support=min_support,
+            top_c=1,
+            min_top_confidence=1.0 - noise_tolerance,
+        )
+        if pairs is None:
+            pairs = [
+                (lhs, rhs)
+                for lhs, rhs in itertools.permutations(schema.attributes, 2)
+            ]
+        for lhs, rhs in pairs:
+            schema.index(lhs)
+            schema.index(rhs)
+        base_seed = estimator_kwargs.pop("seed", 0)
+        self._counters = {}
+        self._projectors = {}
+        for index, (lhs, rhs) in enumerate(pairs):
+            if backend == "exact":
+                counter = ExactImplicationCounter(self.conditions)
+            else:
+                counter = ImplicationCountEstimator(
+                    self.conditions, seed=base_seed + index, **estimator_kwargs
+                )
+            self._counters[(lhs, rhs)] = counter
+            self._projectors[(lhs, rhs)] = (
+                schema.projector([lhs]),
+                schema.projector([rhs]),
+            )
+        self.tuples_seen = 0
+
+    def process_row(self, row: Sequence) -> None:
+        """Feed one table row to every pair scorer."""
+        self.tuples_seen += 1
+        for pair, counter in self._counters.items():
+            project_lhs, project_rhs = self._projectors[pair]
+            counter.update(project_lhs(row), project_rhs(row))
+
+    def process_rows(self, rows: Iterable[Sequence] | Relation) -> None:
+        for row in rows:
+            self.process_row(row)
+
+    def score(self, lhs: str, rhs: str) -> DependencyScore:
+        """The scored dependency for one directed pair."""
+        try:
+            counter = self._counters[(lhs, rhs)]
+        except KeyError:
+            raise KeyError(
+                f"pair ({lhs!r}, {rhs!r}) was not configured for scoring"
+            ) from None
+        return DependencyScore(
+            lhs=lhs,
+            rhs=rhs,
+            holding=counter.implication_count(),
+            supported=counter.supported_distinct_count(),
+        )
+
+    def scores(self) -> list[DependencyScore]:
+        """All scored pairs, strongest first."""
+        results = [self.score(lhs, rhs) for lhs, rhs in self._counters]
+        results.sort(key=lambda s: s.strength, reverse=True)
+        return results
+
+    def dependencies(self, threshold: float = 0.95) -> list[DependencyScore]:
+        """Pairs whose strength clears the threshold, strongest first."""
+        return [s for s in self.scores() if s.is_dependency(threshold)]
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencyFinder(pairs={len(self._counters)}, "
+            f"tuples={self.tuples_seen})"
+        )

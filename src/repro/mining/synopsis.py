@@ -1,0 +1,113 @@
+"""Dependency-aware synopsis planning (Section 2, third application).
+
+The paper: "a methodology is proposed where the independence assumption
+between attributes is waived.  The histogram synopsis is broken into one
+model that captures significant correlation and independence patterns …
+Estimations of implication counts can be used in a preprocessing step to
+provide information about significant dependent or independent areas among
+certain attributes."
+
+:func:`plan_synopsis` is that preprocessing step: given the pairwise
+dependency scores from :class:`~repro.mining.dependencies.DependencyFinder`,
+it builds the correlation graph (attributes as vertices, an edge wherever
+either direction's strength clears the threshold) and partitions attributes
+into connected *correlation groups*.  Each group should get a joint
+(multi-dimensional) synopsis; attributes in different groups can safely be
+modelled independently with one-dimensional histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .dependencies import DependencyScore
+
+__all__ = ["SynopsisPlan", "plan_synopsis"]
+
+
+@dataclass(frozen=True)
+class SynopsisPlan:
+    """The recommended decomposition for a histogram/model synopsis."""
+
+    #: Attribute groups that need a joint synopsis (size >= 2), plus
+    #: singletons that can use independent one-dimensional histograms.
+    groups: tuple[tuple[str, ...], ...]
+    #: The directed dependencies that produced the grouping.
+    evidence: tuple[DependencyScore, ...]
+    threshold: float
+
+    @property
+    def joint_groups(self) -> tuple[tuple[str, ...], ...]:
+        """Groups needing a joint (correlated) synopsis."""
+        return tuple(group for group in self.groups if len(group) > 1)
+
+    @property
+    def independent_attributes(self) -> tuple[str, ...]:
+        """Attributes safe to model with independent histograms."""
+        return tuple(group[0] for group in self.groups if len(group) == 1)
+
+    def group_of(self, attribute: str) -> tuple[str, ...]:
+        for group in self.groups:
+            if attribute in group:
+                return group
+        raise KeyError(f"attribute {attribute!r} is not in the plan")
+
+    def describe(self) -> str:
+        lines = [f"synopsis plan (dependency threshold {self.threshold:.0%})"]
+        for group in self.joint_groups:
+            lines.append(f"  joint synopsis : {', '.join(group)}")
+        if self.independent_attributes:
+            lines.append(
+                f"  independent 1-d: {', '.join(self.independent_attributes)}"
+            )
+        for score in self.evidence:
+            lines.append(
+                f"    evidence: {score.lhs} -> {score.rhs} "
+                f"({score.strength:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def plan_synopsis(
+    attributes: list[str] | tuple[str, ...],
+    scores: list[DependencyScore],
+    threshold: float = 0.8,
+) -> SynopsisPlan:
+    """Partition attributes into correlation groups from dependency scores.
+
+    Parameters
+    ----------
+    attributes:
+        Every attribute the synopsis must cover (isolated ones become
+        independent singletons).
+    scores:
+        Directed pair scores (typically ``DependencyFinder.scores()``).
+    threshold:
+        Minimum strength for an edge in the correlation graph.
+    """
+    if not attributes:
+        raise ValueError("need at least one attribute to plan for")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    graph = nx.Graph()
+    graph.add_nodes_from(attributes)
+    evidence = []
+    for score in scores:
+        if score.lhs not in graph or score.rhs not in graph:
+            raise KeyError(
+                f"score {score!r} references attributes outside the plan"
+            )
+        if score.strength >= threshold:
+            graph.add_edge(score.lhs, score.rhs)
+            evidence.append(score)
+    components = [
+        tuple(sorted(component)) for component in nx.connected_components(graph)
+    ]
+    components.sort(key=lambda group: (-len(group), group))
+    return SynopsisPlan(
+        groups=tuple(components),
+        evidence=tuple(evidence),
+        threshold=threshold,
+    )

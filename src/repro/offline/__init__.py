@@ -1,0 +1,6 @@
+"""Offline mode: incremental maintenance of implication statistics over an
+append-only warehouse table (the paper's introduction scenario)."""
+
+from .warehouse import RefreshReport, WarehouseMonitor
+
+__all__ = ["RefreshReport", "WarehouseMonitor"]

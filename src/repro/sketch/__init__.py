@@ -1,0 +1,54 @@
+"""Sketching substrate: hash families, bit tricks and distinct-count sketches.
+
+The implication estimator (:mod:`repro.core`) is built on the Flajolet–Martin
+machinery exposed here; the register/value sketches (:class:`LogLog`,
+:class:`HyperLogLog`, :class:`KMinimumValues`) serve as ablation baselines
+for the plain distinct-count subproblem.
+"""
+
+from .countmin import CountMinSketch
+from .bitops import (
+    HASH_BITS,
+    least_significant_bit,
+    least_significant_bit_array,
+    most_significant_bit,
+)
+from .fm import FM_PHI, FMBitmap, PCSA
+from .hashing import (
+    HashFamily,
+    HashFunction,
+    MultiplyShiftHash,
+    PolynomialHash,
+    SplitMix64Hash,
+    TabulationHash,
+    combine_encoded,
+    encode_item,
+    encode_items,
+)
+from .kmv import KMinimumValues
+from .linear_counting import LinearCounter
+from .loglog import HyperLogLog, LogLog
+
+__all__ = [
+    "HASH_BITS",
+    "FM_PHI",
+    "least_significant_bit",
+    "least_significant_bit_array",
+    "most_significant_bit",
+    "FMBitmap",
+    "PCSA",
+    "HashFamily",
+    "HashFunction",
+    "SplitMix64Hash",
+    "MultiplyShiftHash",
+    "PolynomialHash",
+    "TabulationHash",
+    "encode_item",
+    "encode_items",
+    "combine_encoded",
+    "KMinimumValues",
+    "LogLog",
+    "HyperLogLog",
+    "CountMinSketch",
+    "LinearCounter",
+]

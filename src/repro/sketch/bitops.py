@@ -1,0 +1,111 @@
+"""Low-level bit utilities shared by every sketch in the library.
+
+The probabilistic counting machinery of the paper (Section 4.1.1) is driven by
+two functions of a hash value ``y``:
+
+* ``p(y)`` — the position of the least-significant 1-bit (called ``rho`` in
+  the Flajolet–Martin literature).  An item whose hash ends in ``i`` zero bits
+  lands in bitmap cell ``i``; this happens with probability ``2**-(i + 1)``.
+* the position of the most-significant 1-bit, used when sizing bitmaps.
+
+Both are provided as scalar functions (for arbitrary Python ints) and as
+numpy-vectorized functions over ``uint64`` arrays (the fast path used by
+:meth:`repro.core.estimator.ImplicationCountEstimator.update_batch`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HASH_BITS",
+    "least_significant_bit",
+    "most_significant_bit",
+    "least_significant_bit_array",
+    "bit_length_array",
+    "reverse_bits64",
+]
+
+#: Width (in bits) of the hash values produced by :mod:`repro.sketch.hashing`.
+HASH_BITS = 64
+
+
+def least_significant_bit(value: int, default: int = HASH_BITS) -> int:
+    """Return the 0-based position of the least-significant set bit.
+
+    This is the function ``p(y)`` of Section 4.1.1: the cell of the FM bitmap
+    an item hashes to.  ``p(…0b1000) == 3``.
+
+    Parameters
+    ----------
+    value:
+        A non-negative integer (typically a 64-bit hash value).
+    default:
+        Returned when ``value == 0`` (a hash of zero has no set bit; mapping
+        it to the top cell keeps estimators well defined without branching
+        at every call site).
+    """
+    if value < 0:
+        raise ValueError(f"expected a non-negative integer, got {value}")
+    if value == 0:
+        return default
+    return (value & -value).bit_length() - 1
+
+
+def most_significant_bit(value: int) -> int:
+    """Return the 0-based position of the most-significant set bit.
+
+    ``most_significant_bit(0b1000) == 3``.  Raises :class:`ValueError` for
+    zero, which has no set bit.
+    """
+    if value <= 0:
+        raise ValueError(f"expected a positive integer, got {value}")
+    return value.bit_length() - 1
+
+
+def least_significant_bit_array(
+    values: np.ndarray, default: int = HASH_BITS
+) -> np.ndarray:
+    """Vectorized :func:`least_significant_bit` over a ``uint64`` array.
+
+    Uses the identity ``lsb(v) == popcount((v & -v) - 1)`` which numpy can
+    evaluate without loops.  Zeros map to ``default``.
+
+    Returns an ``int64`` array of positions.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    # v & -v isolates the lowest set bit; subtracting 1 yields a mask of
+    # exactly lsb(v) ones.  uint64 arithmetic wraps, which is what we want.
+    isolated = values & (np.zeros_like(values) - values)
+    positions = np.bitwise_count(isolated - np.uint64(1)).astype(np.int64)
+    positions[values == 0] = default
+    return positions
+
+
+def bit_length_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` over a ``uint64`` array.
+
+    Zeros map to 0, mirroring ``(0).bit_length()``.
+    """
+    values = np.asarray(values, dtype=np.uint64).copy()
+    # Smear the highest set bit into every lower position, then count bits.
+    # Exact for the full 64-bit range (a float-log approach loses precision
+    # above 2**53).
+    for shift in (1, 2, 4, 8, 16, 32):
+        values |= values >> np.uint64(shift)
+    return np.bitwise_count(values).astype(np.int64)
+
+
+def reverse_bits64(value: int) -> int:
+    """Reverse the bit order of a 64-bit integer.
+
+    Handy when a sketch wants ``msb``-driven placement from an ``lsb``-driven
+    hash (or vice versa) without a second hash function.
+    """
+    if not 0 <= value < (1 << 64):
+        raise ValueError(f"expected a 64-bit unsigned integer, got {value}")
+    result = 0
+    for _ in range(64):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result

@@ -1,0 +1,98 @@
+"""K-minimum-values (KMV) distinct-count sketch.
+
+Bar-Yossef et al. (RANDOM 2002) — one of the (eps, delta) F0 algorithms the
+paper cites in Section 4.7.1.  The sketch keeps the ``k`` smallest distinct
+hash values seen; if the k-th smallest (normalized to ``[0, 1)``) is ``v``,
+then ``(k - 1) / v`` estimates the number of distinct items.
+
+Included as an ablation substrate (bench ``E-X3``): like the register
+sketches it cannot host the NIPS floating fringe, but it gives a useful
+accuracy/space reference point for the plain distinct-count part of the
+problem (``F0_sup`` in Section 4.4).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from .hashing import MASK64, HashFamily, HashFunction
+
+__all__ = ["KMinimumValues"]
+
+
+class KMinimumValues:
+    """Keep the ``k`` smallest distinct hash values of the stream.
+
+    Space is ``O(k)`` hash values; the standard analysis gives relative
+    error about ``1 / sqrt(k)``.
+    """
+
+    def __init__(
+        self,
+        k: int = 256,
+        hash_function: HashFunction | None = None,
+        seed: int = 0,
+    ) -> None:
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = k
+        self.hash_function = hash_function or HashFamily("splitmix", seed).one()
+        # Max-heap (negated values) of the current k smallest hashes plus a
+        # set for O(1) duplicate detection.
+        self._heap: list[int] = []
+        self._members: set[int] = set()
+
+    def add(self, item: Hashable) -> None:
+        self._add_hashed(self.hash_function(item))
+
+    def _add_hashed(self, hashed: int) -> None:
+        if hashed in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -hashed)
+            self._members.add(hashed)
+            return
+        largest = -self._heap[0]
+        if hashed < largest:
+            heapq.heapreplace(self._heap, -hashed)
+            self._members.discard(largest)
+            self._members.add(hashed)
+
+    def add_encoded_array(self, encoded: np.ndarray) -> None:
+        hashed = self.hash_function.hash_array(np.asarray(encoded, dtype=np.uint64))
+        # Only candidates below the current threshold matter; filtering in
+        # numpy keeps the Python-level heap work proportional to k, not n.
+        if len(self._heap) == self.k:
+            threshold = np.uint64(-self._heap[0])
+            hashed = hashed[hashed < threshold]
+        for value in np.unique(hashed):
+            self._add_hashed(int(value))
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def estimate(self) -> float:
+        """Distinct-count estimate ``(k - 1) / v_k`` (exact below ``k``)."""
+        if len(self._heap) < self.k:
+            return float(len(self._heap))
+        kth_normalized = (-self._heap[0] + 1) / (MASK64 + 1)
+        return (self.k - 1) / kth_normalized
+
+    def merge(self, other: "KMinimumValues") -> "KMinimumValues":
+        if self.k != other.k or repr(self.hash_function) != repr(
+            other.hash_function
+        ):
+            raise ValueError("cannot merge incompatible KMV sketches")
+        for value in other._members:
+            self._add_hashed(value)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"KMinimumValues(k={self.k}, estimate~{self.estimate():.0f})"

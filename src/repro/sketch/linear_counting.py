@@ -1,0 +1,92 @@
+"""Linear Counting (Whang, Vander-Zanden & Taylor, TODS 1990).
+
+The paper's reference [26] — "A Linear-Time Probabilistic Counting
+Algorithm for Database Applications".  A bitmap of ``m`` bits is filled by
+hashing items to single positions; with ``u`` bits still unset, the
+distinct count is estimated as ``-m * ln(u / m)`` (the maximum-likelihood
+inversion of the occupancy process).
+
+Accuracy is excellent while the load factor ``n / m`` stays below ~10, at
+the cost of **linear** space in the expected cardinality — which is exactly
+why the paper builds on Flajolet–Martin's logarithmic bitmap instead.  The
+sketch-comparison ablation includes it to make that trade concrete.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from .hashing import HashFamily, HashFunction
+
+__all__ = ["LinearCounter"]
+
+
+class LinearCounter:
+    """Occupancy-based distinct counting over an ``m``-bit map.
+
+    Parameters
+    ----------
+    num_bits:
+        Bitmap size ``m``; choose at least the expected cardinality for
+        load factors where the estimate stays well conditioned.
+    """
+
+    def __init__(
+        self,
+        num_bits: int = 1 << 16,
+        hash_function: HashFunction | None = None,
+        seed: int = 0,
+    ) -> None:
+        if num_bits < 8:
+            raise ValueError(f"num_bits must be >= 8, got {num_bits}")
+        self.num_bits = num_bits
+        self.hash_function = hash_function or HashFamily("splitmix", seed).one()
+        self._bits = np.zeros(num_bits, dtype=bool)
+
+    def add(self, item: Hashable) -> None:
+        self._bits[self.hash_function(item) % self.num_bits] = True
+
+    def add_encoded_array(self, encoded: np.ndarray) -> None:
+        hashed = self.hash_function.hash_array(np.asarray(encoded, dtype=np.uint64))
+        self._bits[(hashed % np.uint64(self.num_bits)).astype(np.int64)] = True
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    @property
+    def unset_bits(self) -> int:
+        return int(self.num_bits - np.count_nonzero(self._bits))
+
+    def estimate(self) -> float:
+        """``-m * ln(u/m)``; saturated bitmaps fall back to the load bound.
+
+        A fully-set bitmap carries no information beyond "at least ~m ln m
+        distinct items"; that bound is returned rather than infinity.
+        """
+        unset = self.unset_bits
+        if unset == 0:
+            return self.num_bits * math.log(self.num_bits)
+        return -self.num_bits * math.log(unset / self.num_bits)
+
+    def merge(self, other: "LinearCounter") -> "LinearCounter":
+        if (
+            self.num_bits != other.num_bits
+            or repr(self.hash_function) != repr(other.hash_function)
+        ):
+            raise ValueError("cannot merge incompatible linear counters")
+        self._bits |= other._bits
+        return self
+
+    @property
+    def memory_bits(self) -> int:
+        """Space cost — linear in capacity (the contrast with FM's log)."""
+        return self.num_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearCounter(m={self.num_bits}, estimate~{self.estimate():.0f})"
+        )

@@ -1,0 +1,113 @@
+"""LogLog and HyperLogLog distinct-count sketches.
+
+The paper's estimator is built on Flajolet–Martin bitmaps (Section 4.1).
+These two successors trade the ``O(log |A|)`` bits-per-bitmap of FM for a
+single ``log log |A|``-bit register per bucket, at slightly different error
+constants (``1.30/sqrt(m)`` for LogLog, ``1.04/sqrt(m)`` for HyperLogLog).
+
+They are included as *ablation substrates* (bench ``E-X3`` in DESIGN.md): the
+NIPS fringe construction specifically needs the leftmost-zero/fringe
+structure of an FM bitmap, and the ablation demonstrates why a max-register
+sketch cannot host a floating fringe — registers only remember the maximum,
+so the "postponed decision" cells of Section 4.2 have nowhere to live.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from .bitops import HASH_BITS, least_significant_bit, least_significant_bit_array
+from .hashing import HashFamily, HashFunction
+
+__all__ = ["LogLog", "HyperLogLog"]
+
+
+class _RegisterSketch:
+    """Shared register machinery for LogLog and HyperLogLog."""
+
+    def __init__(
+        self,
+        num_registers: int = 64,
+        hash_function: HashFunction | None = None,
+        seed: int = 0,
+    ) -> None:
+        if num_registers < 4 or num_registers & (num_registers - 1):
+            raise ValueError(
+                f"num_registers must be a power of two >= 4, got {num_registers}"
+            )
+        self.num_registers = num_registers
+        self.route_bits = num_registers.bit_length() - 1
+        self.hash_function = hash_function or HashFamily("splitmix", seed).one()
+        self.registers = np.zeros(num_registers, dtype=np.int64)
+
+    def add(self, item: Hashable) -> None:
+        hashed = self.hash_function(item)
+        index = hashed & (self.num_registers - 1)
+        rank = least_significant_bit(hashed >> self.route_bits, HASH_BITS) + 1
+        if rank > self.registers[index]:
+            self.registers[index] = rank
+
+    def add_encoded_array(self, encoded: np.ndarray) -> None:
+        hashed = self.hash_function.hash_array(np.asarray(encoded, dtype=np.uint64))
+        indexes = (hashed & np.uint64(self.num_registers - 1)).astype(np.int64)
+        ranks = (
+            least_significant_bit_array(hashed >> np.uint64(self.route_bits)) + 1
+        )
+        np.maximum.at(self.registers, indexes, ranks)
+
+    def update_many(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def merge(self, other: "_RegisterSketch") -> "_RegisterSketch":
+        if (
+            self.num_registers != other.num_registers
+            or repr(self.hash_function) != repr(other.hash_function)
+        ):
+            raise ValueError("cannot merge incompatible register sketches")
+        np.maximum(self.registers, other.registers, out=self.registers)
+        return self
+
+
+class LogLog(_RegisterSketch):
+    """Durand–Flajolet LogLog: geometric mean of ``2**register``."""
+
+    #: Asymptotic bias constant alpha_m for large m.
+    _ALPHA_INF = 0.39701
+
+    def estimate(self) -> float:
+        mean_rank = float(np.mean(self.registers))
+        return self._ALPHA_INF * self.num_registers * 2.0 ** mean_rank
+
+    def __repr__(self) -> str:
+        return f"LogLog(m={self.num_registers}, estimate~{self.estimate():.0f})"
+
+
+class HyperLogLog(_RegisterSketch):
+    """Flajolet et al. 2007 HyperLogLog: harmonic mean with range corrections."""
+
+    def _alpha(self) -> float:
+        m = self.num_registers
+        if m == 16:
+            return 0.673
+        if m == 32:
+            return 0.697
+        if m == 64:
+            return 0.709
+        return 0.7213 / (1.0 + 1.079 / m)
+
+    def estimate(self) -> float:
+        m = self.num_registers
+        inverse_sum = float(np.sum(np.power(2.0, -self.registers.astype(np.float64))))
+        raw = self._alpha() * m * m / inverse_sum
+        if raw <= 2.5 * m:
+            zeros = int(np.count_nonzero(self.registers == 0))
+            if zeros:
+                return m * math.log(m / zeros)
+        return raw
+
+    def __repr__(self) -> str:
+        return f"HyperLogLog(m={self.num_registers}, estimate~{self.estimate():.0f})"

@@ -1,0 +1,19 @@
+"""Stream model: schemas, relations, sources and window helpers."""
+
+from .schema import Relation, Schema
+from .sources import RateMeter, chunked, read_csv, shuffled, take, write_csv
+from .windows import sliding_counts, tumbling, window_index
+
+__all__ = [
+    "Relation",
+    "Schema",
+    "RateMeter",
+    "chunked",
+    "read_csv",
+    "shuffled",
+    "take",
+    "write_csv",
+    "sliding_counts",
+    "tumbling",
+    "window_index",
+]

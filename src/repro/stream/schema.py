@@ -1,0 +1,161 @@
+"""Relational schema and projection machinery for stream tuples.
+
+The paper models the stream as a relation ``R`` over attribute sets; queries
+project each incoming tuple onto the LHS attributes ``A`` and the RHS
+attributes ``B`` (Section 3.1: "the projection of a single tuple of R on the
+attributes of A is defined as an itemset").  This module provides:
+
+* :class:`Schema` — ordered attribute names with O(1) position lookup and
+  compiled projections;
+* :class:`Relation` — a small in-memory relation used by the examples,
+  tests, and the offline (non-stream) query path the paper mentions in the
+  introduction.
+
+Stream tuples are plain Python tuples positioned by the schema; the examples
+use :meth:`Relation.dicts` when name-keyed access reads better.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Schema", "Relation"]
+
+
+class Schema:
+    """An ordered list of attribute names.
+
+    >>> schema = Schema(["source", "destination", "service", "time"])
+    >>> schema.index("service")
+    2
+    >>> project = schema.projector(["destination", "source"])
+    >>> project(("S1", "D2", "WWW", "Morning"))
+    ('D2', 'S1')
+    """
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        attributes = tuple(attributes)
+        if not attributes:
+            raise ValueError("a schema needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise ValueError(f"duplicate attribute names in {attributes!r}")
+        self.attributes = attributes
+        self._positions = {name: i for i, name in enumerate(attributes)}
+
+    def index(self, attribute: str) -> int:
+        """Position of ``attribute``; raises KeyError for unknown names."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise KeyError(
+                f"unknown attribute {attribute!r}; schema has {self.attributes}"
+            ) from None
+
+    def projector(
+        self, attributes: Sequence[str]
+    ) -> Callable[[Sequence[Hashable]], tuple]:
+        """Compile a projection onto ``attributes`` (an itemgetter).
+
+        Single-attribute projections still return 1-tuples so that itemsets
+        are always tuples — keeping compound and simple LHS interchangeable.
+        """
+        positions = tuple(self.index(name) for name in attributes)
+        if len(positions) == 1:
+            position = positions[0]
+            return lambda row: (row[position],)
+        getter = operator.itemgetter(*positions)
+        return lambda row: getter(row)
+
+    def as_dict(self, row: Sequence[Hashable]) -> dict[str, Hashable]:
+        """Render a positional row as an attribute-keyed dict."""
+        return dict(zip(self.attributes, row))
+
+    def row_from_mapping(self, mapping: Mapping[str, Hashable]) -> tuple:
+        """Build a positional row from an attribute-keyed mapping."""
+        return tuple(mapping[name] for name in self.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self.attributes)!r})"
+
+
+class Relation:
+    """A small in-memory relation: a schema plus positional rows.
+
+    Used for the Table 1 toy data, example programs and ground-truth
+    computations in tests.  This is *not* the high-rate ingestion path —
+    streams feed estimators directly — but it gives the offline query
+    scenario of the introduction a concrete shape.
+    """
+
+    def __init__(
+        self, schema: Schema, rows: Iterable[Sequence[Hashable]] = ()
+    ) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = []
+        width = len(schema)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise ValueError(
+                    f"row {row!r} has {len(row)} values, schema expects {width}"
+                )
+            self.rows.append(row)
+
+    @classmethod
+    def from_dicts(
+        cls, schema: Schema, dicts: Iterable[Mapping[str, Hashable]]
+    ) -> "Relation":
+        return cls(schema, (schema.row_from_mapping(d) for d in dicts))
+
+    def append(self, row: Sequence[Hashable]) -> None:
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"row {row!r} has {len(row)} values, "
+                f"schema expects {len(self.schema)}"
+            )
+        self.rows.append(row)
+
+    def dicts(self) -> Iterator[dict[str, Hashable]]:
+        """Iterate rows as attribute-keyed dicts."""
+        for row in self.rows:
+            yield self.schema.as_dict(row)
+
+    def project(self, attributes: Sequence[str]) -> Iterator[tuple]:
+        """Iterate the projection of every row onto ``attributes``."""
+        projector = self.schema.projector(attributes)
+        for row in self.rows:
+            yield projector(row)
+
+    def distinct(self, attributes: Sequence[str]) -> set[tuple]:
+        """Distinct itemsets of the projection (exact F0 of ``attributes``)."""
+        return set(self.project(attributes))
+
+    def compound_cardinality(self, attributes: Sequence[str]) -> int:
+        """Product of per-attribute cardinalities (``|A|`` of Section 3.1)."""
+        result = 1
+        for name in attributes:
+            result *= len({row[self.schema.index(name)] for row in self.rows})
+        return result
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, rows={len(self.rows)})"

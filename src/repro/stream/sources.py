@@ -1,0 +1,148 @@
+"""Stream sources and plumbing: CSV ingestion, shuffling, chunking, metering.
+
+Streams in this library are plain iterators of positional tuples; sources
+wrap storage or generators into that shape.  Utilities here serve the
+benches and examples:
+
+* :func:`read_csv` / :func:`write_csv` — move relations in and out of files;
+* :func:`shuffled` — bounded-buffer reservoir shuffle (the synthetic dataset
+  recipe of Section 6.1 ends with "shuffle the output file" to show order
+  independence);
+* :func:`chunked` — group a stream into batches for the vectorized path;
+* :class:`RateMeter` — tuples/second accounting for the throughput bench.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+import time
+from pathlib import Path
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from .schema import Relation, Schema
+
+__all__ = ["read_csv", "write_csv", "shuffled", "chunked", "take", "RateMeter"]
+
+
+def read_csv(path: str | Path, has_header: bool = True) -> Relation:
+    """Load a relation from a CSV file.
+
+    With ``has_header`` the first row names the schema; otherwise attributes
+    are ``col0, col1, …``.  All values are kept as strings — itemsets only
+    need hashability and equality, so no type sniffing is attempted.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            first = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; cannot infer a schema") from None
+        if has_header:
+            schema = Schema(first)
+            rows: Iterable[Sequence[str]] = reader
+        else:
+            schema = Schema([f"col{i}" for i in range(len(first))])
+            rows = [first, *reader]
+        return Relation(schema, rows)
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attributes)
+        writer.writerows(relation.rows)
+
+
+def shuffled(
+    stream: Iterable, seed: int = 0, buffer_size: int | None = None
+) -> Iterator:
+    """Yield the stream in (approximately) random order.
+
+    With ``buffer_size=None`` the whole stream is materialized and shuffled
+    exactly.  With a bounded buffer a streaming shuffle is used: keep a full
+    buffer, emit a random element as each new one arrives — locality-bounded
+    but constant-memory, suitable for very long generated streams.
+    """
+    rng = random.Random(seed)
+    if buffer_size is None:
+        items = list(stream)
+        rng.shuffle(items)
+        yield from items
+        return
+    if buffer_size < 1:
+        raise ValueError(f"buffer_size must be >= 1 or None, got {buffer_size}")
+    buffer: list = []
+    for item in stream:
+        if len(buffer) < buffer_size:
+            buffer.append(item)
+            continue
+        slot = rng.randrange(buffer_size)
+        yield buffer[slot]
+        buffer[slot] = item
+    rng.shuffle(buffer)
+    yield from buffer
+
+
+def chunked(stream: Iterable, size: int) -> Iterator[list]:
+    """Group a stream into lists of up to ``size`` items (last may be short)."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    batch: list = []
+    for item in stream:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def take(stream: Iterable, count: int) -> list:
+    """Materialize the first ``count`` items of a stream."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    result = []
+    for item in stream:
+        result.append(item)
+        if len(result) == count:
+            break
+    return result
+
+
+class RateMeter:
+    """Measure sustained tuple throughput (constrained-environment budget).
+
+    >>> meter = RateMeter()
+    >>> with meter:
+    ...     pass  # process tuples, calling meter.count(n)
+    """
+
+    def __init__(self) -> None:
+        self.tuples = 0
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "RateMeter":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def count(self, tuples: int = 1) -> None:
+        self.tuples += tuples
+
+    @property
+    def tuples_per_second(self) -> float:
+        if self.elapsed == 0.0:
+            return 0.0
+        return self.tuples / self.elapsed
+
+    def __repr__(self) -> str:
+        return f"RateMeter({self.tuples} tuples, {self.tuples_per_second:.0f}/s)"

@@ -1,0 +1,66 @@
+"""Window assignment helpers for stream tuples.
+
+The sliding-window estimator itself lives in
+:mod:`repro.core.incremental`; this module provides the small, composable
+pieces benches and examples use to slice streams into windows before
+feeding per-window statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, TypeVar
+
+__all__ = ["tumbling", "sliding_counts", "window_index"]
+
+T = TypeVar("T")
+
+
+def tumbling(stream: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Partition a stream into consecutive non-overlapping windows.
+
+    The final, possibly short, window is emitted too.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    window: list[T] = []
+    for item in stream:
+        window.append(item)
+        if len(window) == size:
+            yield window
+            window = []
+    if window:
+        yield window
+
+
+def window_index(position: int, size: int) -> int:
+    """Index of the tumbling window that tuple ``position`` falls in."""
+    if position < 0:
+        raise ValueError(f"position must be >= 0, got {position}")
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    return position // size
+
+
+def sliding_counts(
+    stream: Iterable[T],
+    size: int,
+    step: int,
+    statistic: Callable[[list[T]], Hashable],
+) -> Iterator[tuple[int, Hashable]]:
+    """Evaluate ``statistic`` over a sliding window of the stream.
+
+    Yields ``(end_position, statistic(window))`` every ``step`` tuples once
+    the first full window has been seen.  Materializes one window — intended
+    for analysis/reporting, not the constrained ingest path.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    window: list[T] = []
+    for position, item in enumerate(stream, start=1):
+        window.append(item)
+        if len(window) > size:
+            del window[: len(window) - size]
+        if len(window) == size and position % step == 0:
+            yield position, statistic(list(window))

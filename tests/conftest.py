@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+
+
+@pytest.fixture
+def one_to_one() -> ImplicationConditions:
+    """Strict one-to-one implication: K=1, tau=1, full confidence."""
+    return ImplicationConditions(
+        max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+    )
+
+
+@pytest.fixture
+def noisy_one_to_one() -> ImplicationConditions:
+    """Noise-tolerant one-to-one: 80% top-1 confidence, no multiplicity cap."""
+    return ImplicationConditions(
+        max_multiplicity=None, min_support=1, top_c=1, min_top_confidence=0.8
+    )
+
+
+def random_pairs(
+    num_items: int, partners_per_item: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """A deterministic shuffled stream where item ``i`` appears with
+    ``partners_per_item`` distinct partners, once each."""
+    rng = np.random.default_rng(seed)
+    pairs = [
+        (item, item * 1_000_003 + j)
+        for item in range(num_items)
+        for j in range(partners_per_item)
+    ]
+    order = rng.permutation(len(pairs))
+    return [pairs[i] for i in order]

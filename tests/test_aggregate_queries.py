@@ -1,0 +1,129 @@
+"""Tests for AggregateQuery in the query engine (Table 2, last row)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.queries import AggregateQuery, QueryEngine
+from repro.datasets.network import table1_relation
+
+
+class TestConstruction:
+    def test_statistic_validation(self):
+        with pytest.raises(ValueError):
+            AggregateQuery(["a"], ["b"], ImplicationConditions(), statistic="mode")
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            AggregateQuery(
+                ["a"], ["b"], ImplicationConditions(), population="everything"
+            )
+
+    def test_lhs_required(self):
+        with pytest.raises(ValueError):
+            AggregateQuery([], ["b"], ImplicationConditions())
+
+    def test_default_name(self):
+        query = AggregateQuery(["src"], ["dst"], ImplicationConditions())
+        assert "average_multiplicity" in query.name
+        assert "src" in query.name
+
+
+class TestExactBackend:
+    def test_average_multiplicity_on_table1(self):
+        """Average number of distinct sources per destination: D1 has one,
+        D2 one, D3 two -> mean 4/3."""
+        engine = QueryEngine(table1_relation().schema, backend="exact")
+        name = engine.register(
+            AggregateQuery(
+                ["destination"],
+                ["source"],
+                ImplicationConditions(min_support=1),
+                statistic="average_multiplicity",
+                population="supported",
+            )
+        )
+        engine.process_rows(table1_relation())
+        assert engine.result(name) == pytest.approx(4 / 3)
+
+    def test_average_support(self):
+        """Destination supports in Table 1: D1=2, D2=1, D3=5 -> mean 8/3."""
+        engine = QueryEngine(table1_relation().schema, backend="exact")
+        name = engine.register(
+            AggregateQuery(
+                ["destination"],
+                ["source"],
+                ImplicationConditions(min_support=1),
+                statistic="average_support",
+                population="supported",
+            )
+        )
+        engine.process_rows(table1_relation())
+        assert engine.result(name) == pytest.approx(8 / 3)
+
+    def test_complex_implication_row(self):
+        """The Table 2 'Complex Implication' shape: an aggregate over the
+        violating population, restricted to one service.
+
+        'Average number of sources for the destinations that are contacted
+        by more than one source, for the P2P service': P2P rows involve
+        D1 (S2) and D3 (S1, S3) -> only D3 violates K=1, with 2 sources.
+        """
+        engine = QueryEngine(table1_relation().schema, backend="exact")
+        name = engine.register(
+            AggregateQuery(
+                ["destination"],
+                ["source"],
+                ImplicationConditions(max_multiplicity=1, min_support=1),
+                statistic="average_multiplicity",
+                population="violated",
+                where=lambda row: row["service"] == "P2P",
+            )
+        )
+        engine.process_rows(table1_relation())
+        assert engine.result(name) == pytest.approx(2.0)
+
+    def test_median_support(self):
+        engine = QueryEngine(table1_relation().schema, backend="exact")
+        name = engine.register(
+            AggregateQuery(
+                ["destination"],
+                ["source"],
+                ImplicationConditions(min_support=1),
+                statistic="median_support",
+                population="supported",
+            )
+        )
+        engine.process_rows(table1_relation())
+        assert engine.result(name) == pytest.approx(2.0)  # supports 1, 2, 5
+
+
+class TestSketchBackend:
+    def test_sampled_aggregate_close_to_exact(self):
+        from repro.stream.schema import Relation, Schema
+
+        schema = Schema(["x", "y"])
+        rows = []
+        for item in range(3000):
+            partners = 1 + item % 3  # multiplicities 1, 2, 3
+            for p in range(partners):
+                rows.append((item, (item, p)))
+                rows.append((item, (item, p)))
+        relation = Relation(schema, rows)
+        results = {}
+        for backend in ("exact", "sketch"):
+            engine = QueryEngine(schema, backend=backend, seed=5)
+            name = engine.register(
+                AggregateQuery(
+                    ["x"],
+                    ["y"],
+                    ImplicationConditions(min_support=2),
+                    statistic="average_multiplicity",
+                    population="supported",
+                )
+            )
+            engine.process_rows(relation)
+            results[backend] = engine.result(name)
+        assert results["exact"] == pytest.approx(2.0)
+        assert results["sketch"] == pytest.approx(results["exact"], rel=0.25)

@@ -1,0 +1,129 @@
+"""Tests for aggregate implication statistics (exact and sampled)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import (
+    ExactImplicationAggregates,
+    SampledImplicationAggregates,
+)
+from repro.core.conditions import ImplicationConditions
+
+
+def build_population(aggregates) -> None:
+    """3 satisfied itemsets (multiplicities 1, 2, 2; supports 10, 12, 8)
+    and 2 violated ones (multiplicity > 3)."""
+    conditions_partners = {
+        "sat-1": ["b1"] * 10,
+        "sat-2": ["b1"] * 6 + ["b2"] * 6,
+        "sat-3": ["b1"] * 4 + ["b2"] * 4,
+        "bad-1": ["b1", "b2", "b3", "b4"] * 3,
+        "bad-2": ["b1", "b2", "b3", "b4", "b5"] * 2,
+    }
+    for itemset, partners in conditions_partners.items():
+        for partner in partners:
+            aggregates.update(itemset, partner)
+
+
+@pytest.fixture
+def conditions() -> ImplicationConditions:
+    return ImplicationConditions(max_multiplicity=3, min_support=5, top_c=3)
+
+
+class TestExactAggregates:
+    def test_population_counts(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        build_population(aggregates)
+        assert aggregates.population_count("satisfied") == 3.0
+        assert aggregates.population_count("violated") == 2.0
+        assert aggregates.population_count("supported") == 5.0
+
+    def test_average_multiplicity(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        build_population(aggregates)
+        assert aggregates.average_multiplicity("satisfied") == pytest.approx(
+            (1 + 2 + 2) / 3
+        )
+        # Violated itemsets dropped their partner tables; the bound + 1
+        # floor (4) is reported for each.
+        assert aggregates.average_multiplicity("violated") == pytest.approx(4.0)
+
+    def test_average_and_median_support(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        build_population(aggregates)
+        assert aggregates.average_support("satisfied") == pytest.approx(10.0)
+        assert aggregates.median_support("satisfied") == pytest.approx(10.0)
+
+    def test_multiplicity_histogram(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        build_population(aggregates)
+        histogram = aggregates.multiplicity_histogram("satisfied")
+        assert histogram == {1: 1, 2: 2}
+
+    def test_empty_population(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        assert aggregates.average_multiplicity() == 0.0
+        assert aggregates.average_support() == 0.0
+        assert aggregates.median_support() == 0.0
+
+    def test_unknown_population_rejected(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        with pytest.raises(ValueError):
+            aggregates.average_multiplicity("everything")
+
+    def test_update_many(self, conditions):
+        aggregates = ExactImplicationAggregates(conditions)
+        aggregates.update_many([("a", "b")] * 6)
+        assert aggregates.population_count("satisfied") == 1.0
+        assert aggregates.tuples_seen == 6
+
+
+class TestSampledAggregates:
+    def test_exact_below_budget(self, conditions):
+        sampled = SampledImplicationAggregates(conditions, sample_budget=1000)
+        build_population(sampled)
+        assert sampled.scale_factor == 1.0
+        assert sampled.population_count("satisfied") == 3.0
+        assert sampled.average_multiplicity("satisfied") == pytest.approx(5 / 3)
+
+    def test_population_estimates_scale(self):
+        """With the budget forcing level promotions, population counts must
+        still land near the truth."""
+        conditions = ImplicationConditions(
+            max_multiplicity=2, min_support=4, top_c=1
+        )
+        sampled = SampledImplicationAggregates(
+            conditions, sample_budget=400, per_value_bound=8, seed=3
+        )
+        n = 3000
+        for itemset in range(n):
+            partners = 1 if itemset % 2 == 0 else 3  # half satisfy, half violate
+            for __ in range(4):
+                for p in range(partners):
+                    sampled.update(itemset, (itemset, p))
+        assert sampled.scale_factor > 1.0
+        assert sampled.population_count("satisfied") == pytest.approx(
+            n / 2, rel=0.4
+        )
+        # Aggregate means remain near truth: satisfied itemsets have
+        # multiplicity exactly 1 here.
+        assert sampled.average_multiplicity("satisfied") == pytest.approx(
+            1.0, abs=0.2
+        )
+
+    def test_sample_size_reporting(self, conditions):
+        sampled = SampledImplicationAggregates(conditions, sample_budget=1000)
+        build_population(sampled)
+        assert sampled.sample_size("supported") == 5
+
+    def test_batch_interface(self):
+        import numpy as np
+
+        conditions = ImplicationConditions(max_multiplicity=2, min_support=2)
+        sampled = SampledImplicationAggregates(conditions, seed=1)
+        lhs = np.array([1, 1, 2, 2], dtype=np.uint64)
+        rhs = np.array([9, 9, 8, 8], dtype=np.uint64)
+        sampled.update_batch(lhs, rhs)
+        assert sampled.tuples_seen == 4
+        assert sampled.population_count("satisfied") == 2.0

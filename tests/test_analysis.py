@@ -1,0 +1,150 @@
+"""Tests for error metrics, the trial runner and reporting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.errors import ErrorSummary, relative_error, summarize_errors
+from repro.analysis.experiments import (
+    ScaleSettings,
+    TrialOutcome,
+    run_trials,
+    scale_settings,
+)
+from repro.analysis.reporting import banner, format_series, format_table
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(100, 90) == pytest.approx(0.1)
+        assert relative_error(100, 110) == pytest.approx(0.1)
+
+    def test_zero_actual(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(0, 5) == math.inf
+
+    def test_negative_actual_uses_magnitude(self):
+        assert relative_error(-100, -90) == pytest.approx(0.1)
+
+
+class TestSummarize:
+    def test_mean_and_deviation(self):
+        summary = summarize_errors([0.1, 0.2, 0.3])
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.deviation == pytest.approx(0.1)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.trials == 3
+        assert summary.deviation_of_mean == pytest.approx(0.1 / math.sqrt(3))
+
+    def test_single_value(self):
+        summary = summarize_errors([0.5])
+        assert summary.deviation == 0.0
+        assert summary.deviation_of_mean == 0.0
+
+    def test_infinite_values_are_dropped_from_mean(self):
+        summary = summarize_errors([0.1, math.inf, 0.3])
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.trials == 3
+
+    def test_all_infinite(self):
+        summary = summarize_errors([math.inf, math.inf])
+        assert summary.mean == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+
+class TestRunTrials:
+    def test_runs_requested_trials_with_distinct_seeds(self):
+        seeds = []
+
+        def trial(seed: int) -> TrialOutcome:
+            seeds.append(seed)
+            return TrialOutcome(actual=100.0, measured=90.0)
+
+        summary = run_trials(trial, trials=5, base_seed=1)
+        assert summary.trials == 5
+        assert summary.mean == pytest.approx(0.1)
+        assert len(set(seeds)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda s: TrialOutcome(1, 1), trials=0)
+
+    def test_outcome_error(self):
+        assert TrialOutcome(actual=50, measured=25).error == pytest.approx(0.5)
+
+
+class TestScaleSettings:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        settings = scale_settings()
+        assert settings.name == "quick"
+        assert not settings.is_full
+
+    def test_full_preset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        settings = scale_settings()
+        assert settings.is_full
+        assert settings.trials == 100
+        assert 100_000 in settings.cardinalities
+
+    def test_trials_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        monkeypatch.setenv("REPRO_TRIALS", "3")
+        assert scale_settings().trials == 3
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            scale_settings()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1), ("b", 123456)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "123,456" in lines[-1]
+        # All data lines share the same width.
+        assert len(lines[2]) == len(lines[3]) == len(lines[4])
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only-one",)])
+
+    def test_float_rendering(self):
+        text = format_table(("x",), [(0.12345,), (float("nan"),), (12345.0,)])
+        assert "0.1235" in text or "0.1234" in text
+        assert "nan" in text
+        assert "12,345" in text
+
+    def test_bool_rendering(self):
+        text = format_table(("flag",), [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_format_series(self):
+        text = format_series("errors", [1, 2], [0.5, 0.25], unit="%")
+        assert "errors [%]" in text
+        assert text.count("\n") == 2
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_banner(self):
+        text = banner("hello")
+        lines = text.splitlines()
+        assert lines[0] == "=" * 72
+        assert lines[1] == "hello"

@@ -1,0 +1,137 @@
+"""Tests for the (eps, delta) toolkit and fringe-sizing lemmas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approximation import (
+    MedianOfEstimators,
+    bitmaps_for_accuracy,
+    groups_for_confidence,
+    minimum_estimable_count,
+    required_fringe_size,
+)
+from repro.core.conditions import ImplicationConditions
+from repro.datasets.synthetic import generate_dataset_one
+
+
+class TestFringeSizing:
+    def test_lemma2_values(self):
+        """Lemma 2: F = -log2 q; 'counts greater than 1/16 of F0 correspond
+        to a fringe zone of only four cells'."""
+        assert required_fringe_size(1 / 16) == 4
+        assert required_fringe_size(1 / 2) == 1
+        assert required_fringe_size(1.0) == 1
+        assert required_fringe_size(0.01) == 7
+
+    def test_headroom(self):
+        assert required_fringe_size(1 / 16, headroom=2) == 6
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            required_fringe_size(0.0)
+        with pytest.raises(ValueError):
+            required_fringe_size(1.5)
+
+    def test_minimum_estimable_count_paper_values(self):
+        """Section 4.3.3: F=4 resolves 6.25% of F0; F=8 resolves 0.4%."""
+        assert minimum_estimable_count(4, 100.0) == pytest.approx(6.25)
+        assert minimum_estimable_count(8, 100.0) == pytest.approx(100 / 256)
+
+    def test_minimum_estimable_validation(self):
+        with pytest.raises(ValueError):
+            minimum_estimable_count(0, 100.0)
+        with pytest.raises(ValueError):
+            minimum_estimable_count(4, -1.0)
+
+
+class TestEpsDeltaKnobs:
+    def test_groups_always_odd(self):
+        for delta in (0.5, 0.1, 0.01, 0.001):
+            assert groups_for_confidence(delta) % 2 == 1
+
+    def test_groups_grow_with_confidence(self):
+        assert groups_for_confidence(0.001) > groups_for_confidence(0.1)
+
+    def test_groups_validation(self):
+        with pytest.raises(ValueError):
+            groups_for_confidence(0.0)
+        with pytest.raises(ValueError):
+            groups_for_confidence(1.0)
+
+    def test_bitmaps_power_of_two(self):
+        for epsilon in (0.3, 0.1, 0.05):
+            m = bitmaps_for_accuracy(epsilon)
+            assert m & (m - 1) == 0
+
+    def test_bitmaps_match_known_point(self):
+        # 0.78 / sqrt(64) ~ 0.0975: epsilon 0.1 needs 64 bitmaps.
+        assert bitmaps_for_accuracy(0.1) == 64
+
+    def test_bitmaps_validation(self):
+        with pytest.raises(ValueError):
+            bitmaps_for_accuracy(0.0)
+
+
+class TestMedianOfEstimators:
+    def test_groups_validation(self):
+        with pytest.raises(ValueError):
+            MedianOfEstimators(ImplicationConditions(), groups=0)
+
+    def test_for_accuracy_wires_knobs(self):
+        wrapper = MedianOfEstimators.for_accuracy(
+            ImplicationConditions(), epsilon=0.2, delta=0.1
+        )
+        assert len(wrapper.groups) == groups_for_confidence(0.1)
+        assert wrapper.groups[0].num_bitmaps == bitmaps_for_accuracy(0.2)
+
+    def test_median_tames_worst_case(self):
+        """Across trials, the max error of the median should not exceed the
+        max error of a single estimator (usually it is far lower)."""
+        single_max = 0.0
+        median_max = 0.0
+        for seed in range(6):
+            data = generate_dataset_one(400, 200, c=1, seed=seed)
+            actual = float(data.truth.satisfied)
+            wrapper = MedianOfEstimators(
+                data.conditions, groups=5, seed=seed, num_bitmaps=16
+            )
+            wrapper.update_batch(data.lhs, data.rhs)
+            median_max = max(
+                median_max, abs(wrapper.implication_count() - actual) / actual
+            )
+            # The first group alone is the "single estimator" comparator.
+            single = wrapper.groups[0]
+            single_max = max(
+                single_max, abs(single.implication_count() - actual) / actual
+            )
+        assert median_max <= single_max + 0.05
+
+    def test_all_estimates_exposed(self):
+        wrapper = MedianOfEstimators(
+            ImplicationConditions(max_multiplicity=1, min_top_confidence=1.0),
+            groups=3,
+            num_bitmaps=16,
+        )
+        wrapper.update("a", "b")
+        wrapper.update("c", "b")
+        wrapper.update("c", "b2")
+        assert wrapper.supported_distinct_count() >= 0
+        assert wrapper.nonimplication_count() >= 0
+        assert wrapper.implication_count() >= 0
+
+    def test_custom_factory(self):
+        created = []
+
+        def factory(seed):
+            from repro.core.estimator import ImplicationCountEstimator
+
+            estimator = ImplicationCountEstimator(
+                ImplicationConditions(), num_bitmaps=8, seed=seed
+            )
+            created.append(seed)
+            return estimator
+
+        MedianOfEstimators(ImplicationConditions(), groups=4, estimator_factory=factory)
+        assert len(created) == 4
+        assert len(set(created)) == 4

@@ -1,0 +1,109 @@
+"""Unit and property tests for repro.sketch.bitops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.bitops import (
+    HASH_BITS,
+    bit_length_array,
+    least_significant_bit,
+    least_significant_bit_array,
+    most_significant_bit,
+    reverse_bits64,
+)
+
+uint64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestLeastSignificantBit:
+    def test_powers_of_two(self):
+        for exponent in range(64):
+            assert least_significant_bit(1 << exponent) == exponent
+
+    def test_trailing_bits_ignored(self):
+        assert least_significant_bit(0b1011000) == 3
+
+    def test_zero_maps_to_default(self):
+        assert least_significant_bit(0) == HASH_BITS
+        assert least_significant_bit(0, default=7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            least_significant_bit(-1)
+
+    @given(uint64s.filter(lambda v: v != 0))
+    def test_definition(self, value):
+        position = least_significant_bit(value)
+        assert value % (1 << position) == 0
+        assert (value >> position) & 1 == 1
+
+
+class TestMostSignificantBit:
+    def test_powers_of_two(self):
+        for exponent in range(64):
+            assert most_significant_bit(1 << exponent) == exponent
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            most_significant_bit(0)
+
+    @given(uint64s.filter(lambda v: v != 0))
+    def test_matches_bit_length(self, value):
+        assert most_significant_bit(value) == value.bit_length() - 1
+
+
+class TestVectorizedLsb:
+    def test_matches_scalar(self):
+        values = np.array(
+            [0, 1, 2, 3, 4, 8, 12, 1 << 63, (1 << 64) - 1], dtype=np.uint64
+        )
+        expected = [least_significant_bit(int(v)) for v in values]
+        assert least_significant_bit_array(values).tolist() == expected
+
+    @given(st.lists(uint64s, min_size=1, max_size=50))
+    def test_matches_scalar_random(self, values):
+        array = np.array(values, dtype=np.uint64)
+        expected = [least_significant_bit(v) for v in values]
+        assert least_significant_bit_array(array).tolist() == expected
+
+    def test_custom_default(self):
+        out = least_significant_bit_array(np.zeros(3, dtype=np.uint64), default=9)
+        assert out.tolist() == [9, 9, 9]
+
+
+class TestBitLengthArray:
+    @given(st.lists(uint64s, min_size=1, max_size=50))
+    def test_matches_int_bit_length(self, values):
+        array = np.array(values, dtype=np.uint64)
+        expected = [v.bit_length() for v in values]
+        assert bit_length_array(array).tolist() == expected
+
+    def test_boundary_powers(self):
+        # Float-log rounding near powers of two is the tricky region.
+        values = []
+        for exponent in range(1, 64):
+            values.extend([(1 << exponent) - 1, 1 << exponent, (1 << exponent) + 1])
+        array = np.array(values, dtype=np.uint64)
+        expected = [v.bit_length() for v in values]
+        assert bit_length_array(array).tolist() == expected
+
+
+class TestReverseBits:
+    def test_known_values(self):
+        assert reverse_bits64(0) == 0
+        assert reverse_bits64(1) == 1 << 63
+        assert reverse_bits64(1 << 63) == 1
+
+    @given(uint64s)
+    def test_involution(self, value):
+        assert reverse_bits64(reverse_bits64(value)) == value
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            reverse_bits64(1 << 64)
+        with pytest.raises(ValueError):
+            reverse_bits64(-1)

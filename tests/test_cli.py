@@ -1,0 +1,42 @@
+"""Tests for the repro-experiments command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "quick")
+    monkeypatch.setenv("REPRO_TRIALS", "1")
+
+
+class TestCli:
+    def test_requires_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_ablation_sketches(self, capsys):
+        assert main(["ablation-sketches"]) == 0
+        out = capsys.readouterr().out
+        assert "F0 sketch comparison" in out
+
+    def test_ablation_epsdelta(self, capsys):
+        assert main(["ablation-epsdelta"]) == 0
+        assert "median" in capsys.readouterr().out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput"]) == 0
+        assert "tuples/s" in capsys.readouterr().out
+
+    def test_workload_flag_parsed(self):
+        # Only validates argparse wiring; figure7 itself is bench-scale and
+        # covered by tests/test_experiments.py at tiny checkpoints.
+        with pytest.raises(SystemExit):
+            main(["figure7", "--workload", "Z"])

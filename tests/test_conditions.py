@@ -1,0 +1,71 @@
+"""Tests for ImplicationConditions validation and semantics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import ImplicationConditions, ItemsetStatus
+
+
+class TestValidation:
+    def test_defaults_are_permissive(self):
+        conditions = ImplicationConditions()
+        assert conditions.max_multiplicity is None
+        assert conditions.min_support == 1
+        assert conditions.min_top_confidence == 0.0
+
+    def test_max_multiplicity_bounds(self):
+        with pytest.raises(ValueError):
+            ImplicationConditions(max_multiplicity=0)
+
+    def test_min_support_bounds(self):
+        with pytest.raises(ValueError):
+            ImplicationConditions(min_support=0)
+
+    def test_top_c_bounds(self):
+        with pytest.raises(ValueError):
+            ImplicationConditions(top_c=0)
+
+    def test_confidence_range(self):
+        with pytest.raises(ValueError):
+            ImplicationConditions(min_top_confidence=1.5)
+        with pytest.raises(ValueError):
+            ImplicationConditions(min_top_confidence=-0.1)
+
+    def test_top_c_cannot_exceed_multiplicity_cap(self):
+        with pytest.raises(ValueError):
+            ImplicationConditions(max_multiplicity=2, top_c=3)
+
+    def test_frozen(self):
+        conditions = ImplicationConditions()
+        with pytest.raises(AttributeError):
+            conditions.min_support = 5
+
+
+class TestSemanticsHelpers:
+    def test_partner_bound_equals_cap(self):
+        assert ImplicationConditions(max_multiplicity=7).partner_bound == 7
+        assert ImplicationConditions().partner_bound is None
+
+    def test_describe_mentions_every_active_condition(self):
+        text = ImplicationConditions(
+            max_multiplicity=3, min_support=10, top_c=2, min_top_confidence=0.8
+        ).describe()
+        assert "support>=10" in text
+        assert "multiplicity<=3" in text
+        assert "top-2" in text
+        assert "80%" in text
+
+    def test_describe_omits_inactive_conditions(self):
+        text = ImplicationConditions(min_support=5).describe()
+        assert "multiplicity" not in text
+        assert "confidence" not in text
+
+
+class TestItemsetStatus:
+    def test_three_states(self):
+        assert {status.value for status in ItemsetStatus} == {
+            "pending",
+            "satisfied",
+            "violated",
+        }

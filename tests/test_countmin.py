@@ -1,0 +1,111 @@
+"""Tests for the Count-Min sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.countmin import CountMinSketch
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.0)
+        with pytest.raises(ValueError):
+            CountMinSketch(delta=1.0)
+
+    def test_dimensions(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        assert sketch.width == 272  # ceil(e / 0.01)
+        assert sketch.depth == 5  # ceil(ln 100)
+        assert sketch.counter_count == 272 * 5
+
+
+class TestPointQueries:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(epsilon=0.05, delta=0.05, seed=1)
+        rng = np.random.default_rng(0)
+        truth: dict[int, int] = {}
+        for __ in range(5000):
+            item = int(rng.zipf(1.3)) % 200
+            truth[item] = truth.get(item, 0) + 1
+            sketch.add(item)
+        for item, true_count in truth.items():
+            assert sketch.estimate(item) >= true_count
+
+    def test_overestimate_bounded(self):
+        epsilon = 0.01
+        sketch = CountMinSketch(epsilon=epsilon, delta=0.01, seed=2)
+        for item in range(10_000):
+            sketch.add(item % 500)
+        overshoots = [
+            sketch.estimate(item) - 20 for item in range(500)
+        ]  # each item appears exactly 20 times
+        # The guarantee is per-query with probability 1 - delta; check the
+        # 95th percentile rather than the max.
+        overshoots.sort()
+        assert overshoots[int(0.95 * len(overshoots))] <= epsilon * sketch.total
+
+    def test_unseen_item_can_be_zero(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01, seed=3)
+        sketch.add("present")
+        assert sketch.estimate("present") >= 1
+
+    def test_weighted_add(self):
+        sketch = CountMinSketch(seed=4)
+        sketch.add("x", count=7)
+        assert sketch.estimate("x") >= 7
+        assert sketch.total == 7
+        with pytest.raises(ValueError):
+            sketch.add("x", count=-1)
+
+
+class TestConservativeUpdate:
+    def test_tightens_estimates(self):
+        plain = CountMinSketch(epsilon=0.1, delta=0.1, seed=5)
+        conservative = CountMinSketch(
+            epsilon=0.1, delta=0.1, conservative=True, seed=5
+        )
+        rng = np.random.default_rng(1)
+        stream = [int(rng.zipf(1.2)) % 100 for __ in range(20_000)]
+        plain.update_many(stream)
+        conservative.update_many(stream)
+        plain_total_overshoot = sum(plain.estimate(i) for i in range(100))
+        conservative_total_overshoot = sum(
+            conservative.estimate(i) for i in range(100)
+        )
+        assert conservative_total_overshoot <= plain_total_overshoot
+
+    def test_still_never_underestimates(self):
+        sketch = CountMinSketch(epsilon=0.1, delta=0.1, conservative=True, seed=6)
+        for __ in range(50):
+            sketch.add("hot")
+        assert sketch.estimate("hot") >= 50
+
+
+class TestMerge:
+    def test_merge_is_addition(self):
+        left = CountMinSketch(epsilon=0.05, delta=0.1, seed=7)
+        right = CountMinSketch(epsilon=0.05, delta=0.1, seed=7)
+        union = CountMinSketch(epsilon=0.05, delta=0.1, seed=7)
+        for item in range(1000):
+            (left if item % 2 else right).add(item % 37)
+            union.add(item % 37)
+        left.merge(right)
+        assert np.array_equal(left._table, union._table)
+        assert left.total == union.total
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.05, seed=1).merge(
+                CountMinSketch(epsilon=0.01, seed=1)
+            )
+        with pytest.raises(ValueError):
+            CountMinSketch(seed=1).merge(CountMinSketch(seed=2))
+
+    def test_conservative_not_mergeable(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(conservative=True, seed=1).merge(
+                CountMinSketch(conservative=True, seed=1)
+            )

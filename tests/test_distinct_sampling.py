@@ -1,0 +1,111 @@
+"""Tests for the Distinct Sampling implication counter (Gibbons baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.distinct_sampling import DistinctSamplingImplicationCounter
+from repro.core.conditions import ImplicationConditions
+
+
+class TestLevelZeroIsExact:
+    """While the budget holds the level stays 0 and counts are exact."""
+
+    def test_exact_counts_below_budget(self, one_to_one):
+        counter = DistinctSamplingImplicationCounter(one_to_one, sample_budget=1000)
+        counter.update("a1", "b1")
+        counter.update("a2", "b1")
+        counter.update("a2", "b2")
+        assert counter.level == 0
+        assert counter.implication_count() == 1.0
+        assert counter.nonimplication_count() == 1.0
+        assert counter.supported_distinct_count() == 2.0
+
+    def test_distinct_count_query(self, one_to_one):
+        counter = DistinctSamplingImplicationCounter(one_to_one, sample_budget=1000)
+        for index in range(100):
+            counter.update(index, "b")
+        assert counter.distinct_count() == 100.0
+
+
+class TestLevelPromotion:
+    def test_budget_forces_levels(self, one_to_one):
+        counter = DistinctSamplingImplicationCounter(
+            one_to_one, sample_budget=100, per_value_bound=10, seed=1
+        )
+        for index in range(2000):
+            counter.update(index, index * 7)
+        assert counter.level > 0
+        assert counter.counter_count() <= 100
+
+    def test_estimate_scales_with_level(self, one_to_one):
+        counter = DistinctSamplingImplicationCounter(
+            one_to_one, sample_budget=200, per_value_bound=10, seed=2
+        )
+        n = 5000
+        for index in range(n):
+            counter.update(index, index * 13)  # all satisfy one-to-one
+        estimate = counter.implication_count()
+        assert abs(estimate - n) / n < 0.5  # sampling estimate, single trial
+
+    def test_sampled_values_keep_complete_history(self, one_to_one):
+        """Membership depends only on hash(a), so a sampled itemset has seen
+        every one of its tuples — per-itemset statistics are exact."""
+        counter = DistinctSamplingImplicationCounter(
+            one_to_one, sample_budget=100, per_value_bound=10, seed=3
+        )
+        # 'victim' violates early; whether sampled or evicted, it must never
+        # be reported as satisfying.
+        counter.update("victim", "b1")
+        counter.update("victim", "b2")
+        for index in range(3000):
+            counter.update(index, index * 3)
+        state = counter._sample.get("victim")
+        if state is not None:
+            assert state.violated
+
+    def test_determinism(self, one_to_one):
+        first = DistinctSamplingImplicationCounter(
+            one_to_one, sample_budget=100, per_value_bound=10, seed=7
+        )
+        second = DistinctSamplingImplicationCounter(
+            one_to_one, sample_budget=100, per_value_bound=10, seed=7
+        )
+        for index in range(2000):
+            first.update(index, 1)
+            second.update(index, 1)
+        assert first.level == second.level
+        assert first.implication_count() == second.implication_count()
+
+
+class TestValidation:
+    def test_budget_bounds(self, one_to_one):
+        with pytest.raises(ValueError):
+            DistinctSamplingImplicationCounter(one_to_one, sample_budget=1)
+
+    def test_per_value_bound(self, one_to_one):
+        with pytest.raises(ValueError):
+            DistinctSamplingImplicationCounter(one_to_one, per_value_bound=1)
+
+
+class TestBatch:
+    def test_batch_matches_scalar(self):
+        import numpy as np
+
+        conditions = ImplicationConditions(
+            max_multiplicity=2, min_support=2, top_c=1, min_top_confidence=0.5
+        )
+        rng = np.random.default_rng(5)
+        lhs = rng.integers(0, 400, size=3000).astype(np.uint64)
+        rhs = rng.integers(0, 20, size=3000).astype(np.uint64)
+        scalar = DistinctSamplingImplicationCounter(
+            conditions, sample_budget=300, per_value_bound=10, seed=9
+        )
+        batch = DistinctSamplingImplicationCounter(
+            conditions, sample_budget=300, per_value_bound=10, seed=9
+        )
+        for a, b in zip(lhs.tolist(), rhs.tolist()):
+            scalar.update(a, b)
+        batch.update_batch(lhs, rhs)
+        assert scalar.level == batch.level
+        assert scalar.implication_count() == batch.implication_count()

@@ -1,0 +1,135 @@
+"""Tests for the distributed aggregation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.core.estimator import ImplicationCountEstimator
+from repro.datasets.synthetic import generate_dataset_one
+from repro.distributed import AggregationTree, Coordinator, StreamNode
+
+
+def make_setup(num_nodes: int = 4, seed: int = 5):
+    data = generate_dataset_one(500, 250, c=1, seed=seed)
+    template = ImplicationCountEstimator(data.conditions, seed=seed + 1)
+    nodes = [StreamNode(f"node-{i}", template) for i in range(num_nodes)]
+    # Shard by itemset so every itemset's history stays on one node.
+    shard_of = (data.lhs % np.uint64(num_nodes)).astype(np.int64)
+    for index, node in enumerate(nodes):
+        mask = shard_of == index
+        node.observe_batch(data.lhs[mask], data.rhs[mask])
+    return data, template, nodes
+
+
+class TestStreamNode:
+    def test_nodes_share_placement_hash(self):
+        __, template, nodes = make_setup()
+        assert all(
+            node.estimator.hash_function is template.hash_function
+            for node in nodes
+        )
+
+    def test_snapshot_accounting(self):
+        __, __t, nodes = make_setup()
+        node = nodes[0]
+        payload = node.snapshot()
+        assert node.snapshots_sent == 1
+        assert node.bytes_sent == len(payload)
+
+    def test_local_count_is_partial(self):
+        data, __, nodes = make_setup()
+        local = sum(node.local_implication_count() for node in nodes)
+        # Each node holds a quarter of the itemsets; summed locals should be
+        # in the neighbourhood of the global truth.
+        assert local == pytest.approx(data.truth.satisfied, rel=0.5)
+
+
+class TestCoordinator:
+    def test_merged_estimate_near_truth(self):
+        data, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        coordinator.sync(nodes)
+        assert coordinator.node_count == 4
+        assert coordinator.implication_count() == pytest.approx(
+            data.truth.satisfied, rel=0.4
+        )
+
+    def test_resent_snapshot_does_not_double_count(self):
+        data, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        coordinator.sync(nodes)
+        first = coordinator.implication_count()
+        # The same node re-sends (e.g. after a retry): count must not move.
+        coordinator.receive(nodes[0].name, nodes[0].snapshot())
+        assert coordinator.implication_count() == first
+
+    def test_incremental_node_arrival(self):
+        data, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        coordinator.receive(nodes[0].name, nodes[0].snapshot())
+        partial = coordinator.supported_distinct_count()
+        coordinator.sync(nodes)
+        assert coordinator.supported_distinct_count() > partial
+
+    def test_bandwidth_accounting(self):
+        __, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        coordinator.sync(nodes)
+        assert coordinator.bytes_received == sum(n.bytes_sent for n in nodes)
+
+
+class TestAggregationTree:
+    def test_validation(self):
+        __, template, nodes = make_setup()
+        with pytest.raises(ValueError):
+            AggregationTree(template, nodes, fanout=1)
+        with pytest.raises(ValueError):
+            AggregationTree(template, [], fanout=2)
+
+    def test_root_matches_star_aggregation(self):
+        data, template, nodes = make_setup(num_nodes=8)
+        tree = AggregationTree(template, nodes, fanout=2)
+        root = tree.sync()
+        coordinator = Coordinator(template)
+        coordinator.sync(nodes)
+        # Merging is associative over the recorded events, so the tree and
+        # the star must agree exactly.
+        assert root.implication_count() == coordinator.implication_count()
+        assert root.nonimplication_count() == coordinator.nonimplication_count()
+
+    def test_depth(self):
+        __, template, nodes = make_setup(num_nodes=8)
+        assert AggregationTree(template, nodes, fanout=2).depth == 3
+        assert AggregationTree(template, nodes, fanout=8).depth == 1
+
+    def test_link_bytes_recorded_per_level(self):
+        __, template, nodes = make_setup(num_nodes=8)
+        tree = AggregationTree(template, nodes, fanout=2)
+        tree.sync()
+        assert len(tree.link_bytes) == tree.depth + 1
+        assert all(level > 0 for level in tree.link_bytes)
+
+    def test_small_contributions_survive_aggregation(self):
+        """The paper's DDoS point: per-leaf counts too small to flag
+        locally accumulate into a clear signal at the root."""
+        from repro.core.conditions import ImplicationConditions
+
+        conditions = ImplicationConditions(max_multiplicity=3, min_support=1)
+        # Unbounded fringe: each leaf's true non-implication count is zero,
+        # and without fixation noise the local estimates reflect that.
+        template = ImplicationCountEstimator(conditions, fringe_size=None, seed=2)
+        nodes = [StreamNode(f"edge-{i}", template) for i in range(8)]
+        # 200 victims; each edge router sees only one connection per victim
+        # per source — far below any local threshold.
+        for victim in range(200):
+            for source in range(8):
+                nodes[source].observe(("victim", victim), ("src", source, victim))
+        locally_flagged = sum(
+            node.estimator.nonimplication_count() for node in nodes
+        )
+        root = AggregationTree(template, nodes, fanout=4).sync()
+        globally_flagged = root.nonimplication_count()
+        assert locally_flagged < globally_flagged
+        assert globally_flagged == pytest.approx(200, rel=0.5)

@@ -1,0 +1,175 @@
+"""Tests for the stochastic-averaging NIPS/CI estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.datasets.synthetic import generate_dataset_one
+
+from conftest import random_pairs
+
+
+class TestConstruction:
+    def test_power_of_two_bitmaps(self, one_to_one):
+        with pytest.raises(ValueError):
+            ImplicationCountEstimator(one_to_one, num_bitmaps=12)
+
+    def test_length_validation(self, one_to_one):
+        with pytest.raises(ValueError):
+            ImplicationCountEstimator(one_to_one, length=0)
+
+    def test_reproducible_from_seed(self, one_to_one):
+        pairs = random_pairs(200, 2, seed=3)
+        first = ImplicationCountEstimator(one_to_one, seed=42)
+        second = ImplicationCountEstimator(one_to_one, seed=42)
+        first.update_many(pairs)
+        second.update_many(pairs)
+        assert first.implication_count() == second.implication_count()
+        assert first.nonimplication_count() == second.nonimplication_count()
+
+    def test_expected_relative_error(self, one_to_one):
+        estimator = ImplicationCountEstimator(one_to_one, num_bitmaps=64)
+        assert estimator.expected_relative_error() == pytest.approx(0.0975)
+
+
+class TestBatchScalarEquivalence:
+    """The vectorized path must be bit-identical to the scalar path."""
+
+    @pytest.mark.parametrize("fringe_size", [4, None])
+    def test_identical_bitmap_state(self, fringe_size):
+        conditions = ImplicationConditions(
+            max_multiplicity=2, min_support=3, top_c=1, min_top_confidence=0.7
+        )
+        rng = np.random.default_rng(7)
+        lhs = rng.integers(0, 300, size=5000).astype(np.uint64)
+        rhs = rng.integers(0, 50, size=5000).astype(np.uint64)
+
+        scalar = ImplicationCountEstimator(
+            conditions, num_bitmaps=16, fringe_size=fringe_size, seed=1
+        )
+        batch = ImplicationCountEstimator(
+            conditions, num_bitmaps=16, fringe_size=fringe_size, seed=1
+        )
+        for a, b in zip(lhs.tolist(), rhs.tolist()):
+            scalar.update(a, b)
+        batch.update_batch(lhs, rhs)
+
+        for left, right in zip(scalar.bitmaps, batch.bitmaps):
+            assert left.fringe_start == right.fringe_start
+            assert left._value_one == right._value_one
+            assert left.leftmost_zero_supported() == right.leftmost_zero_supported()
+        assert scalar.implication_count() == batch.implication_count()
+
+    def test_batch_shape_mismatch_rejected(self, one_to_one):
+        estimator = ImplicationCountEstimator(one_to_one)
+        with pytest.raises(ValueError):
+            estimator.update_batch(np.zeros(3, np.uint64), np.zeros(4, np.uint64))
+
+    def test_batch_split_invariance(self, one_to_one):
+        """Feeding one big batch or many small ones gives identical state."""
+        rng = np.random.default_rng(8)
+        lhs = rng.integers(0, 500, size=3000).astype(np.uint64)
+        rhs = rng.integers(0, 10, size=3000).astype(np.uint64)
+        whole = ImplicationCountEstimator(one_to_one, num_bitmaps=16, seed=2)
+        pieces = ImplicationCountEstimator(one_to_one, num_bitmaps=16, seed=2)
+        whole.update_batch(lhs, rhs)
+        for start in range(0, 3000, 700):
+            pieces.update_batch(lhs[start : start + 700], rhs[start : start + 700])
+        assert whole.implication_count() == pieces.implication_count()
+        assert whole.nonimplication_count() == pieces.nonimplication_count()
+
+
+class TestAccuracy:
+    def test_tracks_exact_on_dataset_one(self):
+        data = generate_dataset_one(1000, 500, c=1, seed=3)
+        exact = ExactImplicationCounter(data.conditions)
+        exact.update_batch(data.lhs, data.rhs)
+        assert exact.implication_count() == data.truth.satisfied
+
+        estimator = ImplicationCountEstimator(data.conditions, seed=5)
+        estimator.update_batch(data.lhs, data.rhs)
+        error = abs(estimator.implication_count() - data.truth.satisfied)
+        assert error / data.truth.satisfied < 0.35  # single trial, m=64
+
+    def test_mean_error_within_envelope(self):
+        """Averaged over trials the error should approach the paper's ~10%."""
+        errors = []
+        for seed in range(8):
+            data = generate_dataset_one(600, 300, c=1, seed=seed)
+            estimator = ImplicationCountEstimator(data.conditions, seed=seed + 50)
+            estimator.update_batch(data.lhs, data.rhs)
+            errors.append(
+                abs(estimator.implication_count() - data.truth.satisfied)
+                / data.truth.satisfied
+            )
+        assert sum(errors) / len(errors) < 0.25
+
+    def test_nonimplication_and_supported_consistent(self):
+        data = generate_dataset_one(800, 400, c=1, seed=11)
+        estimator = ImplicationCountEstimator(data.conditions, seed=4)
+        estimator.update_batch(data.lhs, data.rhs)
+        supported = estimator.supported_distinct_count()
+        nonimpl = estimator.nonimplication_count()
+        assert supported >= nonimpl  # R_F0sup >= R_Sbar per bitmap
+        assert estimator.implication_count() == pytest.approx(
+            max(supported - nonimpl, 0.0)
+        )
+
+    def test_bias_correction_flag(self, one_to_one):
+        corrected = ImplicationCountEstimator(one_to_one, seed=1)
+        verbatim = ImplicationCountEstimator(
+            one_to_one, seed=1, bias_correction=False
+        )
+        pairs = random_pairs(500, 1, seed=2)
+        corrected.update_many(pairs)
+        verbatim.update_many(pairs)
+        # Same bitmaps, different readout arithmetic.
+        assert corrected.supported_distinct_count() != pytest.approx(
+            verbatim.supported_distinct_count()
+        )
+
+
+class TestMemory:
+    def test_bounded_fringe_memory_stays_within_budget(self):
+        data = generate_dataset_one(2000, 1000, c=2, seed=1)
+        estimator = ImplicationCountEstimator(data.conditions, seed=2)
+        estimator.update_batch(data.lhs, data.rhs)
+        profile = estimator.memory_profile()
+        assert profile.itemset_budget == (2 ** 4 - 1) * 2 * 64
+        assert profile.stored_itemsets <= profile.itemset_budget
+        assert 0.0 <= profile.utilization <= 1.0
+
+    def test_sketch_memory_far_below_exact(self):
+        data = generate_dataset_one(2000, 1000, c=2, seed=1)
+        estimator = ImplicationCountEstimator(data.conditions, seed=2)
+        exact = ExactImplicationCounter(data.conditions)
+        estimator.update_batch(data.lhs, data.rhs)
+        exact.update_batch(data.lhs, data.rhs)
+        sketch_counters = sum(b.counter_count() for b in estimator.bitmaps)
+        assert sketch_counters < exact.counter_count() / 3
+
+    def test_minimum_estimable_nonimplication(self, one_to_one):
+        estimator = ImplicationCountEstimator(one_to_one, fringe_size=4)
+        assert estimator.minimum_estimable_nonimplication(1600.0) == 100.0
+        unbounded = ImplicationCountEstimator(one_to_one, fringe_size=None)
+        assert unbounded.minimum_estimable_nonimplication(1600.0) == 0.0
+
+
+class TestSiblings:
+    def test_spawn_sibling_shares_hash_and_geometry(self, one_to_one):
+        estimator = ImplicationCountEstimator(one_to_one, num_bitmaps=16, seed=9)
+        sibling = estimator.spawn_sibling()
+        assert sibling.hash_function is estimator.hash_function
+        assert sibling.num_bitmaps == estimator.num_bitmaps
+        assert sibling.tuples_seen == 0
+        # Same stream -> identical readouts, because placement is shared.
+        pairs = random_pairs(100, 1, seed=1)
+        estimator_fresh = estimator.spawn_sibling()
+        for a, b in pairs:
+            sibling.update(a, b)
+            estimator_fresh.update(a, b)
+        assert sibling.implication_count() == estimator_fresh.implication_count()

@@ -1,0 +1,83 @@
+"""Tests for the exact reference counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.core.conditions import ImplicationConditions, ItemsetStatus
+
+
+class TestExactSemantics:
+    def test_basic_counts(self, one_to_one):
+        counter = ExactImplicationCounter(one_to_one)
+        counter.update("a1", "b1")
+        counter.update("a2", "b1")
+        counter.update("a2", "b2")  # violates K=1
+        assert counter.implication_count() == 1.0
+        assert counter.nonimplication_count() == 1.0
+        assert counter.supported_distinct_count() == 2.0
+        assert counter.distinct_count() == 2
+
+    def test_sticky_violation(self, one_to_one):
+        counter = ExactImplicationCounter(one_to_one)
+        counter.update("a", "b1")
+        counter.update("a", "b2")
+        for _ in range(50):
+            counter.update("a", "b1")
+        assert counter.implication_count() == 0.0
+        assert counter.status_of("a") is ItemsetStatus.VIOLATED
+
+    def test_support_gate(self):
+        conditions = ImplicationConditions(max_multiplicity=1, min_support=3)
+        counter = ExactImplicationCounter(conditions)
+        counter.update("a", "b")
+        counter.update("a", "b")
+        assert counter.supported_distinct_count() == 0.0
+        assert counter.implication_count() == 0.0
+        counter.update("a", "b")
+        assert counter.implication_count() == 1.0
+
+    def test_satisfying_itemsets(self, one_to_one):
+        counter = ExactImplicationCounter(one_to_one)
+        counter.update("good", "b")
+        counter.update("bad", "b1")
+        counter.update("bad", "b2")
+        assert counter.satisfying_itemsets() == ["good"]
+
+    def test_weighted_updates(self, one_to_one):
+        counter = ExactImplicationCounter(one_to_one)
+        counter.update("a", "b", weight=10)
+        assert counter.tuples_seen == 10
+        assert counter.implication_count() == 1.0
+
+    def test_update_many(self, one_to_one):
+        counter = ExactImplicationCounter(one_to_one)
+        counter.update_many([("a", "b"), ("c", "d")])
+        assert counter.implication_count() == 2.0
+
+    def test_batch_matches_scalar(self, one_to_one):
+        rng = np.random.default_rng(0)
+        lhs = rng.integers(0, 50, size=2000)
+        rhs = rng.integers(0, 10, size=2000)
+        scalar = ExactImplicationCounter(one_to_one)
+        batch = ExactImplicationCounter(one_to_one)
+        for a, b in zip(lhs.tolist(), rhs.tolist()):
+            scalar.update(a, b)
+        batch.update_batch(lhs, rhs)
+        assert scalar.implication_count() == batch.implication_count()
+        assert scalar.nonimplication_count() == batch.nonimplication_count()
+
+    def test_batch_shape_mismatch(self, one_to_one):
+        counter = ExactImplicationCounter(one_to_one)
+        with pytest.raises(ValueError):
+            counter.update_batch(np.zeros(2), np.zeros(3))
+
+    def test_memory_grows_with_distinct_itemsets(self, one_to_one):
+        """The exact counter pays O(distinct) memory — the cost the paper's
+        constrained environments cannot afford."""
+        counter = ExactImplicationCounter(one_to_one)
+        for index in range(1000):
+            counter.update(index, "b")
+        assert counter.counter_count() >= 2000  # support + partner per itemset

@@ -1,0 +1,160 @@
+"""Tests for the experiment runners behind the benches and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ScaleSettings
+from repro.experiments import (
+    format_figure,
+    run_aggregate_ablation,
+    format_table4,
+    format_workload_errors,
+    run_dataset_one_figure,
+    run_dataset_one_point,
+    run_epsdelta_ablation,
+    run_fringe_ablation,
+    run_hash_family_ablation,
+    run_heavy_hitter_ablation,
+    run_sketch_comparison,
+    run_table4,
+    run_throughput,
+    run_workload,
+)
+
+TINY = ScaleSettings(
+    name="quick",
+    trials=2,
+    cardinalities=(120,),
+    fractions=(0.5,),
+    olap_tuples=20_000,
+)
+
+
+class TestDatasetOneExperiments:
+    def test_point_runs_both_variants(self):
+        point = run_dataset_one_point(
+            150, 0.5, c=1, trials=2, num_bitmaps=16, base_seed=1
+        )
+        assert point.implied_count == 75
+        assert point.bounded.trials == 2
+        assert point.unbounded.trials == 2
+        assert point.bounded.mean >= 0.0
+
+    def test_figure_covers_grid(self):
+        points = run_dataset_one_figure(1, TINY, num_bitmaps=16)
+        assert len(points) == len(TINY.cardinalities) * len(TINY.fractions)
+
+    def test_format_figure(self):
+        points = run_dataset_one_figure(1, TINY, num_bitmaps=16)
+        text = format_figure(points, "Figure 4")
+        assert "Figure 4" in text
+        assert "bounded err" in text
+        assert "c=1" in text
+
+
+class TestOlapExperiments:
+    def test_run_workload_produces_checkpoints(self):
+        run = run_workload(
+            "A",
+            20_000,
+            min_support=5,
+            min_top_confidence=0.6,
+            checkpoints=[5_000, 10_000, 20_000],
+            chunk_size=6_000,
+            seed=1,
+        )
+        assert [row.tuples for row in run.rows] == [5_000, 10_000, 20_000]
+        for row in run.rows:
+            assert set(row.estimates) == {"nips", "ds", "ilc"}
+            assert row.exact >= 0
+
+    def test_exact_counts_grow(self):
+        run = run_workload(
+            "A",
+            20_000,
+            checkpoints=[5_000, 10_000, 20_000],
+            algorithms=(),
+            seed=2,
+        )
+        counts = [row.exact for row in run.rows]
+        # Near-monotone: sticky violations may retire the odd itemset, but
+        # the Table 4 growth shape must dominate.
+        for earlier, later in zip(counts, counts[1:]):
+            assert later >= earlier * 0.95
+        assert counts[-1] > counts[0]
+
+    def test_checkpoint_error_accessor(self):
+        run = run_workload(
+            "B", 10_000, checkpoints=[10_000], algorithms=("nips",), seed=3
+        )
+        row = run.rows[0]
+        assert row.error("nips") >= 0.0
+        with pytest.raises(KeyError):
+            row.error("ds")
+
+    def test_run_table4_and_format(self):
+        runs = run_table4(20_000, seed=1)
+        assert set(runs) == {"A", "B"}
+        text = format_table4(runs, 20_000)
+        assert "Table 4" in text
+        assert "E->B paper" in text
+
+    def test_format_workload_errors(self):
+        runs = [
+            run_workload("A", 10_000, checkpoints=[10_000], seed=1),
+        ]
+        text = format_workload_errors(runs)
+        assert "NIPS/CI" in text
+        assert "%" in text
+
+    def test_shared_stream_chunks(self):
+        from repro.datasets.olap import OlapStreamGenerator
+
+        chunks = list(OlapStreamGenerator(10_000, seed=5).chunks(5_000))
+        first = run_workload(
+            "A", 10_000, checkpoints=[10_000], stream_chunks=chunks, seed=5
+        )
+        second = run_workload(
+            "A", 10_000, checkpoints=[10_000], stream_chunks=chunks, seed=5
+        )
+        assert first.rows[0].exact == second.rows[0].exact
+
+
+class TestAblations:
+    def test_fringe_ablation_output(self):
+        text = run_fringe_ablation(
+            cardinality=300, fractions=(0.2, 0.8), fringe_sizes=(2, 4), trials=2
+        )
+        assert "F=2" in text and "F=4" in text
+
+    def test_sketch_comparison_output(self):
+        text = run_sketch_comparison(distinct=5_000, trials=2)
+        assert "HyperLogLog" in text
+        assert "KMV" in text
+
+    def test_epsdelta_output(self):
+        text = run_epsdelta_ablation(cardinality=200, trials=3, groups=3)
+        assert "median of 3" in text
+
+    def test_throughput(self):
+        result, table = run_throughput(cardinality=300)
+        assert result.batch_tps > 0
+        assert result.scalar_tps > 0
+        assert "tuples/s" in table
+
+    def test_heavy_hitter_ablation_output(self):
+        text = run_heavy_hitter_ablation(
+            cardinality=400, fractions=(0.5,), k=32, trials=2
+        )
+        assert "HH coverage" in text
+        assert "NIPS/CI err" in text
+
+    def test_hash_family_ablation_output(self):
+        text = run_hash_family_ablation(cardinality=300, trials=2)
+        assert "splitmix" in text
+        assert "tabulation" in text
+
+    def test_aggregate_ablation_output(self):
+        text = run_aggregate_ablation(num_itemsets=400, budgets=(128,), trials=2)
+        assert "avg-mult err" in text

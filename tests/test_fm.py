@@ -1,0 +1,154 @@
+"""Unit tests for Flajolet–Martin counting (FMBitmap and PCSA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.fm import FM_PHI, FMBitmap, PCSA, pcsa_scale
+
+
+class TestFMBitmap:
+    def test_empty_bitmap(self):
+        bitmap = FMBitmap(seed=1)
+        assert bitmap.leftmost_zero() == 0
+        assert bitmap.estimate(correct_bias=False) == 1.0
+
+    def test_duplicates_do_not_change_state(self):
+        bitmap = FMBitmap(seed=1)
+        bitmap.add("item")
+        state_once = bitmap.leftmost_zero()
+        for _ in range(100):
+            bitmap.add("item")
+        assert bitmap.leftmost_zero() == state_once
+
+    def test_set_and_read_cells(self):
+        bitmap = FMBitmap(length=8, seed=1)
+        bitmap.set_cell(0)
+        bitmap.set_cell(1)
+        assert bitmap.cell(0) == 1
+        assert bitmap.cell(2) == 0
+        assert bitmap.leftmost_zero() == 2
+
+    def test_cell_bounds(self):
+        bitmap = FMBitmap(length=8, seed=1)
+        with pytest.raises(IndexError):
+            bitmap.set_cell(8)
+        with pytest.raises(IndexError):
+            bitmap.cell(-1)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            FMBitmap(length=0)
+        with pytest.raises(ValueError):
+            FMBitmap(length=65)
+
+    def test_estimate_order_of_magnitude(self):
+        bitmap = FMBitmap(seed=3)
+        n = 10_000
+        for item in range(n):
+            bitmap.add(item)
+        # A single bitmap resolves only to a power of two: allow 2.5x.
+        assert n / 2.5 <= bitmap.estimate() <= n * 2.5
+
+    def test_merge_is_union(self):
+        left = FMBitmap(seed=5)
+        right = FMBitmap(seed=5, hash_function=left.hash_function)
+        union = FMBitmap(seed=5, hash_function=left.hash_function)
+        for item in range(200):
+            (left if item % 2 else right).add(item)
+            union.add(item)
+        left.merge(right)
+        assert left.leftmost_zero() == union.leftmost_zero()
+
+    def test_merge_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            FMBitmap(length=8, seed=1).merge(FMBitmap(length=16, seed=1))
+        with pytest.raises(ValueError):
+            FMBitmap(seed=1).merge(FMBitmap(seed=2))
+
+    def test_copy_is_independent(self):
+        bitmap = FMBitmap(seed=1)
+        clone = bitmap.copy()
+        bitmap.add("x")
+        assert clone.leftmost_zero() == 0 or clone.leftmost_zero() <= bitmap.leftmost_zero()
+        assert clone._bits != bitmap._bits or clone.leftmost_zero() == bitmap.leftmost_zero()
+
+
+class TestPCSA:
+    def test_power_of_two_bitmaps_required(self):
+        with pytest.raises(ValueError):
+            PCSA(num_bitmaps=48)
+
+    def test_accuracy_with_64_bitmaps(self):
+        n = 50_000
+        sketch = PCSA(num_bitmaps=64, seed=2)
+        sketch.add_encoded_array(
+            np.random.default_rng(0).integers(0, 1 << 62, size=n, dtype=np.uint64)
+        )
+        assert abs(sketch.estimate() - n) / n < 0.25
+
+    def test_small_range_correction_handles_tiny_counts(self):
+        n = 30  # far fewer items than bitmaps
+        errors = []
+        for seed in range(10):
+            sketch = PCSA(num_bitmaps=64, seed=seed)
+            for item in range(n):
+                sketch.add((seed, item))
+            errors.append(abs(sketch.estimate() - n) / n)
+        assert sum(errors) / len(errors) < 0.5
+        # Without the correction the estimate is catastrophically biased.
+        uncorrected = PCSA(num_bitmaps=64, seed=0)
+        for item in range(n):
+            uncorrected.add(item)
+        assert uncorrected.estimate(small_range_correction=False) > 2 * n
+
+    def test_batch_matches_scalar(self):
+        scalar = PCSA(num_bitmaps=16, seed=4)
+        batch = PCSA(num_bitmaps=16, seed=4)
+        values = np.random.default_rng(1).integers(
+            0, 1 << 62, size=500, dtype=np.uint64
+        )
+        for value in values:
+            scalar.add_hashed(scalar.hash_function.mix(int(value)))
+        batch.add_encoded_array(values)
+        assert scalar._bitmaps == batch._bitmaps
+
+    def test_update_many_counts_distinct(self):
+        sketch = PCSA(num_bitmaps=16, seed=0)
+        sketch.update_many(["a", "b", "a", "b", "a"])
+        duplicate_free = PCSA(num_bitmaps=16, seed=0)
+        duplicate_free.update_many(["a", "b"])
+        assert sketch._bitmaps == duplicate_free._bitmaps
+
+    def test_merge(self):
+        base = PCSA(num_bitmaps=16, seed=9)
+        other = PCSA(num_bitmaps=16, seed=9, hash_function=base.hash_function)
+        union = PCSA(num_bitmaps=16, seed=9, hash_function=base.hash_function)
+        for item in range(1000):
+            (base if item % 2 else other).add(item)
+            union.add(item)
+        base.merge(other)
+        assert base._bitmaps == union._bitmaps
+
+    def test_merge_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            PCSA(num_bitmaps=16, seed=0).merge(PCSA(num_bitmaps=32, seed=0))
+
+
+class TestPcsaScale:
+    def test_zero_position_small_range(self):
+        # mean R = 0 should estimate ~0 distinct items after correction.
+        assert pcsa_scale(64, 0.0) == 0.0
+
+    def test_monotone_in_position(self):
+        values = [pcsa_scale(64, x / 4) for x in range(1, 40)]
+        assert values == sorted(values)
+
+    def test_raw_formula_without_corrections(self):
+        raw = pcsa_scale(64, 3.0, correct_bias=False, small_range_correction=False)
+        assert raw == 64 * 8.0
+
+    def test_phi_correction_scales(self):
+        corrected = pcsa_scale(1, 10.0, small_range_correction=False)
+        assert corrected == pytest.approx(2.0 ** 10 / FM_PHI)

@@ -1,0 +1,166 @@
+"""Unit and property tests for repro.sketch.hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.hashing import (
+    MASK64,
+    HashFamily,
+    MultiplyShiftHash,
+    PolynomialHash,
+    SplitMix64Hash,
+    TabulationHash,
+    combine_encoded,
+    encode_item,
+    encode_items,
+)
+
+ALL_FAMILIES = ["splitmix", "multiply-shift", "polynomial", "tabulation"]
+
+hashable_items = st.one_of(
+    st.integers(min_value=-(1 << 70), max_value=1 << 70),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    st.floats(allow_nan=False),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestEncodeItem:
+    @given(hashable_items)
+    def test_range_and_determinism(self, item):
+        encoded = encode_item(item)
+        assert 0 <= encoded <= MASK64
+        assert encode_item(item) == encoded
+
+    def test_int_identity_low_bits(self):
+        assert encode_item(5) == 5
+        assert encode_item(-1) == MASK64
+
+    def test_tuples_encode_recursively(self):
+        assert encode_item(("a", 1)) != encode_item(("a", 2))
+        assert encode_item(("a", 1)) != encode_item(("a",))
+        assert encode_item((("a",), 1)) != encode_item(("a", 1))
+
+    def test_type_tags_separate_singletons(self):
+        values = [None, True, False, 0, 1, ""]
+        encodings = [encode_item(v) for v in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_item([1, 2])
+
+    def test_numpy_integers_accepted(self):
+        assert encode_item(np.int64(42)) == 42
+
+    def test_string_and_bytes_differ_from_each_other(self):
+        # Same byte content, different type path (str encodes via utf-8).
+        assert encode_item("ab") == encode_item(b"ab")  # utf-8 identical
+        assert encode_item("é") != encode_item("e")
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("kind", ALL_FAMILIES)
+    def test_deterministic_per_seed(self, kind):
+        first = HashFamily(kind, seed=7).one()
+        second = HashFamily(kind, seed=7).one()
+        for item in ("x", 123, ("a", 4)):
+            assert first(item) == second(item)
+
+    @pytest.mark.parametrize("kind", ALL_FAMILIES)
+    def test_different_seeds_differ(self, kind):
+        first = HashFamily(kind, seed=1).one()
+        second = HashFamily(kind, seed=2).one()
+        disagreements = sum(first(i) != second(i) for i in range(64))
+        assert disagreements > 60
+
+    @pytest.mark.parametrize("kind", ALL_FAMILIES)
+    def test_output_range(self, kind):
+        function = HashFamily(kind, seed=3).one()
+        for item in range(100):
+            assert 0 <= function(item) <= MASK64
+
+    @pytest.mark.parametrize("kind", ALL_FAMILIES)
+    def test_hash_array_matches_scalar(self, kind):
+        function = HashFamily(kind, seed=11).one()
+        values = np.array([0, 1, 5, 1 << 40, MASK64], dtype=np.uint64)
+        vectorized = function.hash_array(values)
+        scalar = [function.mix(int(v)) for v in values]
+        assert vectorized.tolist() == scalar
+
+    @given(st.lists(st.integers(min_value=0, max_value=MASK64), min_size=1, max_size=30))
+    def test_splitmix_array_matches_scalar_random(self, values):
+        function = SplitMix64Hash(seed=5)
+        array = np.array(values, dtype=np.uint64)
+        assert function.hash_array(array).tolist() == [
+            function.mix(v) for v in values
+        ]
+
+    def test_multiply_shift_has_odd_multiplier(self):
+        assert MultiplyShiftHash(seed=0).a % 2 == 1
+
+    def test_polynomial_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialHash(seed=0, degree=0)
+
+    def test_polynomial_coefficient_count(self):
+        assert len(PolynomialHash(seed=0, degree=4).coefficients) == 4
+
+    def test_tabulation_table_shape(self):
+        tables = TabulationHash(seed=0).tables
+        assert len(tables) == 8
+        assert all(len(table) == 256 for table in tables)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily("md5")
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            HashFamily("splitmix").spawn(0)
+
+    def test_spawned_functions_are_independent(self):
+        functions = HashFamily("splitmix", seed=0).spawn(3)
+        outputs = [f("probe") for f in functions]
+        assert len(set(outputs)) == 3
+
+    def test_low_bits_roughly_uniform(self):
+        """The bitmap-routing bits (low 6) should be close to uniform."""
+        function = HashFamily("splitmix", seed=9).one()
+        buckets = np.zeros(64, dtype=int)
+        samples = 64 * 200
+        for item in range(samples):
+            buckets[function(item) & 63] += 1
+        expected = samples / 64
+        chi_square = float(((buckets - expected) ** 2 / expected).sum())
+        # 63 degrees of freedom; 120 is far beyond any plausible p-value cut.
+        assert chi_square < 120
+
+
+class TestEncodedArrays:
+    def test_encode_items_matches_scalar(self):
+        items = ["a", 5, ("x", 1)]
+        array = encode_items(items)
+        assert array.tolist() == [encode_item(i) for i in items]
+
+    def test_combine_encoded_matches_tuple_encoding(self):
+        lhs = np.array([1, 2, 3], dtype=np.uint64)
+        rhs = np.array([10, 20, 30], dtype=np.uint64)
+        combined = combine_encoded([lhs, rhs])
+        expected = [encode_item((int(a), int(b))) for a, b in zip(lhs, rhs)]
+        assert combined.tolist() == expected
+
+    def test_combine_encoded_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_encoded([])
+
+    def test_combine_is_order_sensitive(self):
+        lhs = np.array([1], dtype=np.uint64)
+        rhs = np.array([2], dtype=np.uint64)
+        assert combine_encoded([lhs, rhs])[0] != combine_encoded([rhs, lhs])[0]

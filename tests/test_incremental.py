@@ -1,0 +1,143 @@
+"""Tests for incremental and sliding-window implication counting (§3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.incremental import (
+    IncrementalImplicationCounter,
+    SlidingWindowImplicationCounter,
+)
+
+
+def strict() -> ImplicationConditions:
+    return ImplicationConditions(
+        max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+    )
+
+
+def feed_phase(counter, prefix: str, count: int) -> None:
+    """Feed ``count`` fresh one-to-one itemsets named with ``prefix``."""
+    for index in range(count):
+        counter.update(f"{prefix}-{index}", f"partner-{prefix}-{index}")
+
+
+class TestIncremental:
+    def test_increment_counts_new_itemsets(self):
+        counter = IncrementalImplicationCounter(
+            ImplicationCountEstimator(strict(), seed=1)
+        )
+        feed_phase(counter, "early", 400)
+        at_t1 = counter.checkpoint("t1")
+        feed_phase(counter, "late", 400)
+        increment = counter.increment_since("t1")
+        assert at_t1 > 0
+        # ~400 new implying itemsets appeared; allow sketch error.
+        assert 200 < increment < 700
+
+    def test_tuples_since(self):
+        counter = IncrementalImplicationCounter(
+            ImplicationCountEstimator(strict(), seed=1)
+        )
+        feed_phase(counter, "a", 10)
+        counter.checkpoint("mark")
+        feed_phase(counter, "b", 25)
+        assert counter.tuples_since("mark") == 25
+
+    def test_unknown_checkpoint(self):
+        counter = IncrementalImplicationCounter(
+            ImplicationCountEstimator(strict(), seed=1)
+        )
+        with pytest.raises(KeyError):
+            counter.increment_since("never")
+        with pytest.raises(KeyError):
+            counter.tuples_since("never")
+
+    def test_clamping(self):
+        counter = IncrementalImplicationCounter(
+            ImplicationCountEstimator(strict(), seed=1)
+        )
+        feed_phase(counter, "x", 300)
+        counter.checkpoint("t1")
+        # Violate many previously-good itemsets: the count *drops*.
+        for index in range(300):
+            counter.update(f"x-{index}", "second-partner")
+        assert counter.increment_since("t1") == 0.0
+        assert counter.increment_since("t1", clamp=False) < 0.0
+
+    def test_drop_checkpoint(self):
+        counter = IncrementalImplicationCounter(
+            ImplicationCountEstimator(strict(), seed=1)
+        )
+        counter.checkpoint("gone")
+        counter.drop_checkpoint("gone")
+        with pytest.raises(KeyError):
+            counter.increment_since("gone")
+
+
+class TestSlidingWindow:
+    def test_validation(self):
+        template = ImplicationCountEstimator(strict(), seed=1)
+        with pytest.raises(ValueError):
+            SlidingWindowImplicationCounter(template, window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowImplicationCounter(template, window=10, panes=11)
+
+    def test_old_contributions_retire(self):
+        """Itemsets from long ago must leave the windowed count."""
+        template = ImplicationCountEstimator(strict(), seed=2)
+        window = SlidingWindowImplicationCounter(template, window=1000, panes=4)
+        feed_phase(window, "old", 500)
+        count_after_burst = window.implication_count()
+        assert count_after_burst > 100
+        # Push the burst far out of the window with unrelated repeats of a
+        # single itemset (contributes at most 1 to any count).
+        for _ in range(3000):
+            window.update("filler", "filler-partner")
+        assert window.implication_count() <= count_after_burst / 3
+
+    def test_live_pane_count_is_bounded(self):
+        template = ImplicationCountEstimator(strict(), seed=3)
+        window = SlidingWindowImplicationCounter(template, window=400, panes=4)
+        feed_phase(window, "stream", 2500)
+        assert window.live_panes <= 4 + 2
+
+    def test_window_sees_recent_itemsets(self):
+        template = ImplicationCountEstimator(strict(), seed=4)
+        window = SlidingWindowImplicationCounter(template, window=800, panes=4)
+        for _ in range(2000):
+            window.update("warmup", "warmup-partner")
+        feed_phase(window, "recent", 400)
+        assert window.implication_count() > 100
+
+    def test_batch_matches_scalar_rotation(self):
+        conditions = strict()
+        scalar = SlidingWindowImplicationCounter(
+            ImplicationCountEstimator(conditions, num_bitmaps=16, seed=5),
+            window=300,
+            panes=3,
+        )
+        batch = SlidingWindowImplicationCounter(
+            ImplicationCountEstimator(conditions, num_bitmaps=16, seed=5),
+            window=300,
+            panes=3,
+        )
+        rng = np.random.default_rng(6)
+        lhs = rng.integers(0, 200, size=1200).astype(np.uint64)
+        rhs = (lhs * np.uint64(31)) & np.uint64(0xFFFF)  # one partner per item
+        for a, b in zip(lhs.tolist(), rhs.tolist()):
+            scalar.update(a, b)
+        batch.update_batch(lhs, rhs)
+        assert scalar.clock == batch.clock
+        assert scalar.live_panes == batch.live_panes
+        assert scalar.implication_count() == batch.implication_count()
+
+    def test_all_estimates_exposed(self):
+        template = ImplicationCountEstimator(strict(), seed=7)
+        window = SlidingWindowImplicationCounter(template, window=100, panes=2)
+        feed_phase(window, "z", 50)
+        assert window.supported_distinct_count() >= 0
+        assert window.nonimplication_count() >= 0

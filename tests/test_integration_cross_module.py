@@ -1,0 +1,149 @@
+"""Cross-module integration tests for paths no single-module test covers:
+flash crowds, serialized-after-merge sketches, sketch-backed one-to-many
+queries, incremental counting through the batch path, and the distributed
+layer composed with the trigger framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggregationTree,
+    BaselineTrigger,
+    ImplicationConditions,
+    ImplicationCountEstimator,
+    ImplicationQuery,
+    IncrementalImplicationCounter,
+    QueryEngine,
+    StreamNode,
+    TriggerBoard,
+)
+from repro.baselines.exact import ExactImplicationCounter
+from repro.datasets.network import NetworkTrafficGenerator, ScenarioEvent
+from repro.datasets.synthetic import generate_dataset_one
+
+
+class TestFlashCrowd:
+    def test_flash_crowd_detected_like_ddos(self):
+        """A flash crowd has the same fan-in signature as a DDoS (the paper
+        treats them together) and is WWW-only traffic."""
+        event = ScenarioEvent(
+            "flash_crowd",
+            start=200,
+            duration=2500,
+            intensity=0.9,
+            target="D-olympics",
+            spread=5,
+            pool=800,
+        )
+        conditions = ImplicationConditions(max_multiplicity=25, min_support=1)
+        counter = ExactImplicationCounter(conditions)
+        services = set()
+        for source, destination, service, __ in NetworkTrafficGenerator(
+            seed=3, events=[event]
+        ).tuples(3000):
+            counter.update((destination,), (source,))
+            if destination.startswith("D-olympics"):
+                services.add(service)
+        assert counter.status_of(("D-olympics-0",)).value == "violated"
+        assert services == {"WWW"}
+
+
+class TestSerializedMerge:
+    def test_merge_then_serialize_then_merge_again(self):
+        """A mid-tree aggregator serializes its partial merge; the upper
+        level must be able to continue merging into it."""
+        data = generate_dataset_one(400, 200, c=1, seed=11)
+        template = ImplicationCountEstimator(data.conditions, seed=12)
+        shards = [template.spawn_sibling() for _ in range(4)]
+        shard_of = (data.lhs % np.uint64(4)).astype(np.int64)
+        for index, shard in enumerate(shards):
+            mask = shard_of == index
+            shard.update_batch(data.lhs[mask], data.rhs[mask])
+
+        # Level 1: merge shards 0+1 and 2+3, ship as bytes.
+        left = template.spawn_sibling().merge(shards[0]).merge(shards[1])
+        right = template.spawn_sibling().merge(shards[2]).merge(shards[3])
+        left_wire = ImplicationCountEstimator.from_bytes(left.to_bytes())
+        right_wire = ImplicationCountEstimator.from_bytes(right.to_bytes())
+
+        # Level 2: root merge of deserialized partials.
+        root = template.spawn_sibling().merge(left_wire).merge(right_wire)
+        direct = template.spawn_sibling()
+        for shard in shards:
+            direct.merge(shard)
+        assert root.implication_count() == direct.implication_count()
+        assert root.nonimplication_count() == direct.nonimplication_count()
+        assert root.tuples_seen == len(data.lhs)
+
+
+class TestSketchBackedOneToMany:
+    def test_complement_count_through_engine(self):
+        from repro.stream.schema import Relation, Schema
+
+        schema = Schema(["src", "dst"])
+        rows = []
+        # 400 quiet sources with 1 destination, 300 scanners with 4.
+        for source in range(400):
+            rows.append((("s", source), ("d", source)))
+        for scanner in range(300):
+            for probe in range(4):
+                rows.append((("scan", scanner), ("d", scanner, probe)))
+        engine = QueryEngine(schema, backend="sketch", seed=4, fringe_size=8)
+        name = engine.register(
+            ImplicationQuery.one_to_many(["src"], ["dst"], more_than=2)
+        )
+        engine.process_rows(Relation(schema, rows))
+        assert engine.result(name) == pytest.approx(300, rel=0.4)
+
+
+class TestIncrementalBatchPath:
+    def test_checkpoints_across_batch_updates(self):
+        data_a = generate_dataset_one(300, 150, c=1, seed=21)
+        counter = IncrementalImplicationCounter(
+            ImplicationCountEstimator(data_a.conditions, seed=22)
+        )
+        counter.update_batch(data_a.lhs, data_a.rhs)
+        counter.checkpoint("after-first")
+        # A second, disjoint population (shift the ids far away).
+        data_b = generate_dataset_one(300, 150, c=1, seed=23)
+        counter.update_batch(
+            data_b.lhs + np.uint64(1 << 20), data_b.rhs + np.uint64(1 << 21)
+        )
+        increment = counter.increment_since("after-first")
+        assert increment == pytest.approx(150, rel=0.5)
+        assert counter.tuples_since("after-first") == len(data_b.lhs)
+
+
+class TestDistributedTriggers:
+    def test_root_statistic_drives_a_trigger(self):
+        conditions = ImplicationConditions(max_multiplicity=3, min_support=1)
+        template = ImplicationCountEstimator(
+            conditions, num_bitmaps=32, fringe_size=8, seed=31
+        )
+        nodes = [StreamNode(f"n{i}", template) for i in range(4)]
+        tree = AggregationTree(template, nodes, fanout=2)
+
+        latest_root = {"count": 0.0}
+
+        def root_statistic() -> float:
+            return latest_root["count"]
+
+        board = TriggerBoard(
+            [BaselineTrigger("fanin", root_statistic, jump=100, arm_at=1)]
+        )
+        # Quiet phase.
+        for item in range(200):
+            nodes[item % 4].observe(("d", item), ("s", item))
+        latest_root["count"] = tree.sync().nonimplication_count()
+        board.poll(1)  # arms with the quiet baseline
+        assert board.raised() == []
+        # Attack spread across all nodes.
+        for victim in range(250):
+            for source in range(5):
+                nodes[source % 4].observe(("victim", victim), ("atk", source))
+        latest_root["count"] = tree.sync().nonimplication_count()
+        events = board.poll(2)
+        assert [event.kind for event in events] == ["raised"]

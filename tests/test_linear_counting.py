@@ -1,0 +1,68 @@
+"""Tests for Linear Counting (paper reference [26])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.linear_counting import LinearCounter
+
+
+class TestLinearCounter:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            LinearCounter(num_bits=4)
+
+    def test_empty(self):
+        counter = LinearCounter(num_bits=1024)
+        assert counter.estimate() == 0.0
+        assert counter.unset_bits == 1024
+
+    def test_accuracy_at_moderate_load(self):
+        n = 10_000
+        counter = LinearCounter(num_bits=1 << 15, seed=1)
+        counter.add_encoded_array(
+            np.random.default_rng(0).integers(0, 1 << 62, size=n, dtype=np.uint64)
+        )
+        assert abs(counter.estimate() - n) / n < 0.05
+
+    def test_duplicates_ignored(self):
+        counter = LinearCounter(num_bits=1024, seed=2)
+        counter.update_many(["a", "b"] * 100)
+        baseline = LinearCounter(num_bits=1024, seed=2)
+        baseline.update_many(["a", "b"])
+        assert counter.estimate() == baseline.estimate()
+
+    def test_batch_matches_scalar(self):
+        scalar = LinearCounter(num_bits=4096, seed=3)
+        batch = LinearCounter(num_bits=4096, seed=3)
+        items = np.random.default_rng(1).integers(
+            0, 1 << 62, size=1000, dtype=np.uint64
+        )
+        for item in items:
+            scalar.add(int(item))
+        batch.add_encoded_array(items)
+        assert np.array_equal(scalar._bits, batch._bits)
+
+    def test_saturation_fallback(self):
+        counter = LinearCounter(num_bits=8, seed=4)
+        counter._bits[:] = True
+        assert counter.estimate() == pytest.approx(8 * np.log(8))
+
+    def test_merge_is_union(self):
+        left = LinearCounter(num_bits=4096, seed=5)
+        right = LinearCounter(num_bits=4096, hash_function=left.hash_function)
+        union = LinearCounter(num_bits=4096, hash_function=left.hash_function)
+        for item in range(500):
+            (left if item % 2 else right).add(item)
+            union.add(item)
+        left.merge(right)
+        assert np.array_equal(left._bits, union._bits)
+
+    def test_merge_incompatible(self):
+        with pytest.raises(ValueError):
+            LinearCounter(num_bits=1024).merge(LinearCounter(num_bits=2048))
+
+    def test_memory_is_linear_in_capacity(self):
+        """The paper's reason to prefer FM: linear counting pays O(n) bits."""
+        assert LinearCounter(num_bits=1 << 16).memory_bits == 1 << 16

@@ -1,0 +1,123 @@
+"""Tests for the ablation sketches: LogLog, HyperLogLog, KMV."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.kmv import KMinimumValues
+from repro.sketch.loglog import HyperLogLog, LogLog
+
+
+def _random_items(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 1 << 62, size=n, dtype=np.uint64)
+
+
+class TestLogLog:
+    def test_register_count_validation(self):
+        with pytest.raises(ValueError):
+            LogLog(num_registers=48)
+        with pytest.raises(ValueError):
+            LogLog(num_registers=2)
+
+    def test_accuracy(self):
+        n = 100_000
+        sketch = LogLog(num_registers=256, seed=1)
+        sketch.add_encoded_array(_random_items(n))
+        assert abs(sketch.estimate() - n) / n < 0.25
+
+    def test_duplicates_ignored(self):
+        sketch = LogLog(num_registers=64, seed=1)
+        sketch.update_many(["a", "b"] * 50)
+        baseline = LogLog(num_registers=64, seed=1)
+        baseline.update_many(["a", "b"])
+        assert sketch.registers.tolist() == baseline.registers.tolist()
+
+    def test_batch_matches_scalar(self):
+        scalar = LogLog(num_registers=64, seed=2)
+        batch = LogLog(num_registers=64, seed=2)
+        items = _random_items(1000, seed=3)
+        for item in items:
+            scalar.add(int(item))
+        batch.add_encoded_array(items)
+        assert scalar.registers.tolist() == batch.registers.tolist()
+
+    def test_merge_is_union(self):
+        left = LogLog(num_registers=64, seed=4)
+        right = LogLog(num_registers=64, seed=4, hash_function=left.hash_function)
+        union = LogLog(num_registers=64, seed=4, hash_function=left.hash_function)
+        for item in range(2000):
+            (left if item % 2 else right).add(item)
+            union.add(item)
+        left.merge(right)
+        assert left.registers.tolist() == union.registers.tolist()
+
+    def test_merge_incompatible(self):
+        with pytest.raises(ValueError):
+            LogLog(num_registers=64).merge(LogLog(num_registers=128))
+
+
+class TestHyperLogLog:
+    def test_accuracy(self):
+        n = 100_000
+        sketch = HyperLogLog(num_registers=256, seed=5)
+        sketch.add_encoded_array(_random_items(n, seed=6))
+        assert abs(sketch.estimate() - n) / n < 0.15
+
+    def test_small_range_correction(self):
+        sketch = HyperLogLog(num_registers=64, seed=7)
+        for item in range(10):
+            sketch.add(item)
+        assert abs(sketch.estimate() - 10) < 6
+
+    def test_empty_estimate_zero(self):
+        assert HyperLogLog(num_registers=64).estimate() == 0.0
+
+
+class TestKMV:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KMinimumValues(k=1)
+
+    def test_exact_below_k(self):
+        sketch = KMinimumValues(k=128, seed=1)
+        for item in range(50):
+            sketch.add(item)
+        assert sketch.estimate() == 50.0
+        assert len(sketch) == 50
+
+    def test_duplicates_ignored(self):
+        sketch = KMinimumValues(k=16, seed=1)
+        for _ in range(5):
+            sketch.add("same")
+        assert len(sketch) == 1
+
+    def test_accuracy(self):
+        n = 50_000
+        sketch = KMinimumValues(k=512, seed=2)
+        sketch.add_encoded_array(_random_items(n, seed=3))
+        assert abs(sketch.estimate() - n) / n < 0.20
+
+    def test_batch_matches_scalar(self):
+        scalar = KMinimumValues(k=64, seed=4)
+        batch = KMinimumValues(k=64, seed=4)
+        items = _random_items(2000, seed=5)
+        for item in items:
+            scalar.add(int(item))
+        batch.add_encoded_array(items)
+        assert sorted(scalar._members) == sorted(batch._members)
+
+    def test_merge_matches_union(self):
+        left = KMinimumValues(k=64, seed=6)
+        right = KMinimumValues(k=64, seed=6, hash_function=left.hash_function)
+        union = KMinimumValues(k=64, seed=6, hash_function=left.hash_function)
+        for item in range(3000):
+            (left if item % 3 else right).add(item)
+            union.add(item)
+        left.merge(right)
+        assert sorted(left._members) == sorted(union._members)
+
+    def test_heap_never_exceeds_k(self):
+        sketch = KMinimumValues(k=8, seed=7)
+        sketch.add_encoded_array(_random_items(1000, seed=8))
+        assert len(sketch) == 8

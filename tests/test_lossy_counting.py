@@ -1,0 +1,136 @@
+"""Tests for Lossy Counting and Implication Lossy Counting (ILC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.lossy_counting import ImplicationLossyCounting, LossyCounting
+from repro.core.conditions import ImplicationConditions
+
+
+class TestLossyCounting:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0.0)
+        with pytest.raises(ValueError):
+            LossyCounting(1.0)
+
+    def test_undercount_bounded_by_epsilon_t(self):
+        """The lossy-counting guarantee: true_count - estimate <= eps * T."""
+        epsilon = 0.05
+        counter = LossyCounting(epsilon)
+        rng = np.random.default_rng(0)
+        true_counts: dict[int, int] = {}
+        for __ in range(5000):
+            item = int(rng.zipf(1.5)) % 100
+            true_counts[item] = true_counts.get(item, 0) + 1
+            counter.update(item)
+        for item, true_count in true_counts.items():
+            estimate = counter.frequency(item)
+            assert estimate <= true_count
+            assert true_count - estimate <= epsilon * counter.tuples_seen
+
+    def test_no_false_negatives_for_frequent_items(self):
+        epsilon = 0.01
+        counter = LossyCounting(epsilon)
+        stream = ["hot"] * 300 + [f"cold-{i}" for i in range(700)]
+        counter.update_many(stream)
+        assert "hot" in counter.frequent_items(support=0.2)
+
+    def test_memory_stays_sublinear(self):
+        counter = LossyCounting(0.01)
+        for index in range(50_000):
+            counter.update(index)  # all distinct: worst case for memory
+        # 1/eps * log(eps*T) = 100 * log(500) ~ 620 entries.
+        assert counter.entry_count() < 1500
+
+    def test_bucket_boundary_pruning(self):
+        counter = LossyCounting(0.5)  # bucket width 2
+        counter.update("x")
+        counter.update("y")  # boundary: both have count 1, delta 0 -> kept
+        counter.update("z")
+        counter.update("w")  # boundary: z,w have delta 1, count 1 -> pruned
+        assert counter.frequency("z") == 0
+
+
+class TestILC:
+    def make(self, **kwargs) -> ImplicationLossyCounting:
+        conditions = ImplicationConditions(
+            max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+        )
+        kwargs.setdefault("epsilon", 0.01)
+        return ImplicationLossyCounting(conditions, **kwargs)
+
+    def test_relative_support_must_dominate_epsilon(self):
+        with pytest.raises(ValueError):
+            self.make(relative_support=0.001)
+
+    def test_identifies_implicated_itemsets(self):
+        ilc = self.make(relative_support=0.01)
+        for __ in range(100):
+            ilc.update("good", "partner")
+        assert "good" in ilc.implicated_itemsets()
+        assert ilc.implication_count() == 1.0
+
+    def test_dirty_marking_excludes_violators(self):
+        ilc = self.make(relative_support=0.01)
+        for __ in range(50):
+            ilc.update("bad", "b1")
+            ilc.update("bad", "b2")  # multiplicity 2 > K=1 at support
+        assert "bad" not in ilc.implicated_itemsets()
+        assert ilc.nonimplication_count() == 1.0
+
+    def test_dirty_entries_never_pruned(self):
+        """Section 5.1.1: dirty itemsets stay in memory forever."""
+        ilc = self.make(epsilon=0.1, relative_support=0.1)
+        ilc.update("dirty", "b1")
+        ilc.update("dirty", "b2")
+        entry = ilc._entries["dirty"]
+        assert entry.dirty
+        # Flood with distinct itemsets to force many prune rounds.
+        for index in range(500):
+            ilc.update(f"noise-{index}", "b")
+        assert "dirty" in ilc._entries
+        assert ilc._entries["dirty"].partners is None
+
+    def test_relative_support_loses_small_implications(self):
+        """Section 5.1.1: as T grows, sigma_rel * T outgrows small (but
+        persistent) implications, so their contribution is lost."""
+        ilc = self.make(epsilon=0.01, relative_support=0.01)
+        # 'small' appears 60 times in a 10_000-tuple stream (0.6% < 1%).
+        for round_index in range(60):
+            ilc.update("small", "partner")
+            for filler in range(165):
+                ilc.update(f"filler-{round_index}-{filler}", "b")
+        assert ilc.tuples_seen > 9000
+        assert "small" not in ilc.implicated_itemsets()
+
+    def test_memory_grows_with_violators(self):
+        """The paper's other complaint: every violator that reaches relative
+        support sticks around (dirty) forever."""
+        ilc = self.make(epsilon=0.01, relative_support=0.01)
+        for index in range(30):
+            for __ in range(100):
+                ilc.update(f"violator-{index}", "b1")
+                ilc.update(f"violator-{index}", "b2")
+        assert ilc.nonimplication_count() >= 25
+        assert ilc.entry_count() >= 25
+
+    def test_weighted_update(self):
+        ilc = self.make(relative_support=0.01)
+        ilc.update("a", "b", weight=5)
+        assert ilc.tuples_seen == 5
+
+    def test_batch_interface(self):
+        ilc = self.make(relative_support=0.01)
+        lhs = np.array([1, 1, 2], dtype=np.uint64)
+        rhs = np.array([7, 7, 9], dtype=np.uint64)
+        ilc.update_batch(lhs, rhs)
+        assert ilc.tuples_seen == 3
+
+    def test_supported_distinct_count(self):
+        ilc = self.make(relative_support=0.01)
+        for __ in range(10):
+            ilc.update("a", "b")
+        assert ilc.supported_distinct_count() >= 1.0

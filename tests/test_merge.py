@@ -1,0 +1,181 @@
+"""Tests for sketch merging (ItemsetState, NIPSBitmap, estimator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions, ItemsetStatus
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.nips import NIPSBitmap
+from repro.core.tracker import ItemsetState
+from repro.datasets.synthetic import generate_dataset_one
+
+
+def strict() -> ImplicationConditions:
+    return ImplicationConditions(
+        max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+    )
+
+
+class TestStateMerge:
+    def test_supports_add(self):
+        conditions = ImplicationConditions(min_support=10)
+        left, right = ItemsetState(), ItemsetState()
+        left.observe("b", conditions, weight=4)
+        right.observe("b", conditions, weight=3)
+        left.merge(right, conditions)
+        assert left.support == 7
+        assert left.partners == {"b": 7}
+
+    def test_violation_propagates(self):
+        conditions = strict()
+        left, right = ItemsetState(), ItemsetState()
+        left.observe("b1", conditions)
+        right.observe("b1", conditions)
+        right.observe("b2", conditions)  # violated on the right
+        assert left.merge(right, conditions) is ItemsetStatus.VIOLATED
+        assert left.violated
+
+    def test_merged_totals_can_prove_new_violation(self):
+        """Neither side violates alone; the combined multiplicity does."""
+        conditions = ImplicationConditions(max_multiplicity=1, min_support=1)
+        left, right = ItemsetState(), ItemsetState()
+        left.observe("b1", conditions)
+        right.observe("b2", conditions)
+        assert not left.violated and not right.violated
+        assert left.merge(right, conditions) is ItemsetStatus.VIOLATED
+
+    def test_merged_confidence_evaluated(self):
+        conditions = ImplicationConditions(
+            min_support=4, top_c=1, min_top_confidence=0.9
+        )
+        left, right = ItemsetState(), ItemsetState()
+        # Each side: 2 tuples of one partner — below support, no violation.
+        left.observe("b1", conditions, weight=2)
+        right.observe("b2", conditions, weight=2)
+        # Merged: support 4, top-1 confidence 0.5 < 0.9.
+        assert left.merge(right, conditions) is ItemsetStatus.VIOLATED
+
+    def test_partner_bound_respected_during_merge(self):
+        conditions = ImplicationConditions(max_multiplicity=2, min_support=100)
+        left, right = ItemsetState(), ItemsetState()
+        left.observe("b1", conditions)
+        left.observe("b2", conditions)
+        right.observe("b3", conditions)
+        right.observe("b4", conditions)
+        left.merge(right, conditions)
+        assert left.multiplicity_exceeded
+        assert left.partners is None  # memory freed
+
+
+class TestBitmapMerge:
+    def make(self, seed=1):
+        return NIPSBitmap(strict(), length=32, fringe_size=4, seed=seed)
+
+    def test_value_one_unions(self):
+        left, right = self.make(), self.make(seed=1)
+        right.hash_function = left.hash_function
+        left.update_at(2, "a", "b1")
+        left.update_at(2, "a", "b2")  # cell 2 decided on the left
+        right.update_at(1, "c", "b1")
+        left.merge(right)
+        assert left.leftmost_zero_nonimplication() == 0
+        assert 2 in left._value_one
+        assert left.stored_itemsets() == 1  # "a"'s memory stays freed; c kept
+
+    def test_incompatible_rejected(self):
+        conditions = strict()
+        left = NIPSBitmap(conditions, length=32, fringe_size=4, seed=1)
+        with pytest.raises(ValueError):
+            left.merge(NIPSBitmap(conditions, length=16, fringe_size=4, seed=1))
+        other_conditions = ImplicationConditions(min_support=9)
+        sibling = NIPSBitmap(
+            other_conditions, length=32, fringe_size=4,
+            hash_function=left.hash_function,
+        )
+        with pytest.raises(ValueError):
+            left.merge(sibling)
+
+    def test_fringe_advances_to_further_side(self):
+        left, right = self.make(), self.make()
+        right.hash_function = left.hash_function
+        right.update_at(10, "far", "b")  # right fringe floats to [7, 10]
+        left.update_at(0, "near", "b")
+        left.merge(right)
+        assert left.fringe_start == 7
+        assert left.stored_itemsets() == 1  # "near" was fixated away
+
+    def test_same_itemset_merges_counts(self):
+        conditions = ImplicationConditions(min_support=4)
+        left = NIPSBitmap(conditions, length=32, fringe_size=4, seed=2)
+        right = NIPSBitmap(
+            conditions, length=32, fringe_size=4,
+            hash_function=left.hash_function,
+        )
+        left.update_at(0, "a", "b", weight=2)
+        right.update_at(0, "a", "b", weight=3)
+        left.merge(right)
+        assert left._cells[0]["a"].support == 5
+        assert left.leftmost_zero_supported() == 1
+
+    def test_tuples_seen_accumulates(self):
+        left, right = self.make(), self.make()
+        right.hash_function = left.hash_function
+        left.update_at(0, "a", "b", weight=7)
+        right.update_at(1, "c", "d", weight=5)
+        left.merge(right)
+        assert left.tuples_seen == 12
+
+
+class TestEstimatorMerge:
+    def test_incompatible_rejected(self):
+        base = ImplicationCountEstimator(strict(), num_bitmaps=16, seed=1)
+        with pytest.raises(ValueError):
+            base.merge(ImplicationCountEstimator(strict(), num_bitmaps=32, seed=1))
+        with pytest.raises(ValueError):
+            base.merge(ImplicationCountEstimator(strict(), num_bitmaps=16, seed=2))
+
+    def test_sharded_by_itemset_matches_central(self):
+        """When the stream is sharded by LHS itemset, each itemset's whole
+        history lives on one node, so the merged estimate must be very
+        close to a single estimator that saw everything."""
+        data = generate_dataset_one(600, 300, c=1, seed=4)
+        central = ImplicationCountEstimator(data.conditions, seed=9)
+        shards = [central.spawn_sibling() for _ in range(4)]
+        shard_of = (data.lhs % np.uint64(4)).astype(np.int64)
+        for index, shard in enumerate(shards):
+            mask = shard_of == index
+            shard.update_batch(data.lhs[mask], data.rhs[mask])
+        central.update_batch(data.lhs, data.rhs)
+
+        merged = central.spawn_sibling()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.tuples_seen == central.tuples_seen
+        assert merged.nonimplication_count() == pytest.approx(
+            central.nonimplication_count(), rel=0.35
+        )
+        assert merged.implication_count() == pytest.approx(
+            central.implication_count(), rel=0.35
+        )
+        # And both land near the ground truth.
+        assert merged.implication_count() == pytest.approx(
+            data.truth.satisfied, rel=0.4
+        )
+
+    def test_merge_accumulates_tuples(self):
+        base = ImplicationCountEstimator(strict(), num_bitmaps=16, seed=3)
+        other = base.spawn_sibling()
+        base.update("a", "b")
+        other.update("c", "d")
+        base.merge(other)
+        assert base.tuples_seen == 2
+
+    def test_merge_with_empty_is_identity(self):
+        data = generate_dataset_one(200, 100, c=1, seed=6)
+        estimator = ImplicationCountEstimator(data.conditions, seed=2)
+        estimator.update_batch(data.lhs, data.rhs)
+        before = estimator.implication_count()
+        estimator.merge(estimator.spawn_sibling())
+        assert estimator.implication_count() == before

@@ -1,0 +1,172 @@
+"""Tests for dependency discovery and synopsis planning."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mining.dependencies import DependencyFinder, DependencyScore
+from repro.mining.synopsis import plan_synopsis
+from repro.stream.schema import Relation, Schema
+
+
+def orders_relation(rows: int = 3000, noise: float = 0.0, seed: int = 0) -> Relation:
+    """zip -> city is a (possibly noisy) dependency; customer and method
+    are independent of everything."""
+    rng = random.Random(seed)
+    schema = Schema(["zip", "city", "customer", "method"])
+    data = []
+    for __ in range(rows):
+        zip_code = rng.randrange(200)
+        city = f"city-{zip_code % 60}"
+        if noise and rng.random() < noise:
+            city = f"typo-{rng.randrange(10)}"
+        data.append(
+            (
+                zip_code,
+                city,
+                rng.randrange(150),
+                rng.choice(["card", "cash", "wallet"]),
+            )
+        )
+    return Relation(schema, data)
+
+
+class TestDependencyScore:
+    def test_strength(self):
+        score = DependencyScore("a", "b", holding=95, supported=100)
+        assert score.strength == pytest.approx(0.95)
+        assert score.is_dependency(0.95)
+        assert not score.is_dependency(0.99)
+
+    def test_zero_supported(self):
+        assert DependencyScore("a", "b", 0, 0).strength == 0.0
+
+    def test_strength_clamped(self):
+        # Sketch backends can overshoot holding slightly; clamp at 1.
+        assert DependencyScore("a", "b", 110, 100).strength == 1.0
+
+
+class TestDependencyFinder:
+    def test_finds_the_clean_dependency(self):
+        relation = orders_relation()
+        finder = DependencyFinder(relation.schema, min_support=3)
+        finder.process_rows(relation)
+        found = finder.dependencies(threshold=0.95)
+        assert ("zip", "city") in [(s.lhs, s.rhs) for s in found]
+
+    def test_reverse_direction_is_weak(self):
+        """city -> zip cannot hold: each city serves several zips."""
+        relation = orders_relation()
+        finder = DependencyFinder(relation.schema, min_support=3)
+        finder.process_rows(relation)
+        assert finder.score("city", "zip").strength < 0.2
+
+    def test_independent_attributes_score_low(self):
+        relation = orders_relation()
+        finder = DependencyFinder(relation.schema, min_support=3)
+        finder.process_rows(relation)
+        assert finder.score("customer", "method").strength < 0.5
+
+    def test_noise_tolerance(self):
+        relation = orders_relation(noise=0.01, seed=2)
+        strict = DependencyFinder(
+            relation.schema, noise_tolerance=0.0, pairs=[("zip", "city")]
+        )
+        tolerant = DependencyFinder(
+            relation.schema, noise_tolerance=0.10, pairs=[("zip", "city")]
+        )
+        strict.process_rows(relation)
+        tolerant.process_rows(relation)
+        assert tolerant.score("zip", "city").strength > strict.score(
+            "zip", "city"
+        ).strength
+
+    def test_scores_sorted_strongest_first(self):
+        relation = orders_relation()
+        finder = DependencyFinder(relation.schema)
+        finder.process_rows(relation)
+        strengths = [score.strength for score in finder.scores()]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_pair_restriction_and_validation(self):
+        schema = Schema(["a", "b", "c"])
+        finder = DependencyFinder(schema, pairs=[("a", "b")])
+        finder.process_row((1, 2, 3))
+        assert finder.score("a", "b").supported >= 0
+        with pytest.raises(KeyError):
+            finder.score("b", "a")
+        with pytest.raises(KeyError):
+            DependencyFinder(schema, pairs=[("a", "missing")])
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            DependencyFinder(Schema(["a", "b"]), backend="quantum")
+        with pytest.raises(ValueError):
+            DependencyFinder(Schema(["a", "b"]), noise_tolerance=1.0)
+
+    def test_sketch_backend_agrees_on_the_verdict(self):
+        relation = orders_relation(rows=5000)
+        exact = DependencyFinder(relation.schema, pairs=[("zip", "city")])
+        sketch = DependencyFinder(
+            relation.schema,
+            pairs=[("zip", "city")],
+            backend="sketch",
+            fringe_size=8,
+            seed=3,
+        )
+        exact.process_rows(relation)
+        sketch.process_rows(relation)
+        assert exact.score("zip", "city").is_dependency(0.9)
+        assert sketch.score("zip", "city").is_dependency(0.8)
+
+
+class TestSynopsisPlan:
+    def scored(self, lhs, rhs, strength):
+        return DependencyScore(lhs, rhs, holding=strength * 100, supported=100)
+
+    def test_groups_connected_components(self):
+        plan = plan_synopsis(
+            ["zip", "city", "state", "customer", "method"],
+            [
+                self.scored("zip", "city", 0.97),
+                self.scored("city", "state", 0.99),
+                self.scored("customer", "method", 0.1),
+            ],
+            threshold=0.9,
+        )
+        assert plan.joint_groups == (("city", "state", "zip"),)
+        assert set(plan.independent_attributes) == {"customer", "method"}
+        assert plan.group_of("state") == ("city", "state", "zip")
+
+    def test_no_edges_means_all_independent(self):
+        plan = plan_synopsis(["a", "b"], [], threshold=0.9)
+        assert plan.joint_groups == ()
+        assert set(plan.independent_attributes) == {"a", "b"}
+
+    def test_evidence_recorded(self):
+        score = self.scored("a", "b", 0.95)
+        plan = plan_synopsis(["a", "b"], [score], threshold=0.9)
+        assert plan.evidence == (score,)
+        assert "a -> b" in plan.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_synopsis([], [])
+        with pytest.raises(ValueError):
+            plan_synopsis(["a"], [], threshold=0.0)
+        with pytest.raises(KeyError):
+            plan_synopsis(["a"], [self.scored("a", "ghost", 0.99)])
+        with pytest.raises(KeyError):
+            plan_synopsis(["a"], []).group_of("ghost")
+
+    def test_end_to_end_with_finder(self):
+        relation = orders_relation()
+        finder = DependencyFinder(relation.schema, min_support=3)
+        finder.process_rows(relation)
+        plan = plan_synopsis(
+            list(relation.schema.attributes), finder.scores(), threshold=0.9
+        )
+        assert ("city", "zip") in plan.joint_groups
+        assert "customer" in plan.independent_attributes

@@ -1,0 +1,127 @@
+"""Tests for the Table 1 relation and the network-traffic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.core.conditions import ImplicationConditions
+from repro.datasets.network import (
+    NETWORK_SCHEMA,
+    NetworkTrafficGenerator,
+    ScenarioEvent,
+    table1_relation,
+)
+
+
+class TestTable1:
+    def test_eight_tuples(self):
+        relation = table1_relation()
+        assert len(relation) == 8
+        assert relation.schema is NETWORK_SCHEMA
+
+    def test_first_and_last_rows_match_paper(self):
+        relation = table1_relation()
+        assert relation.rows[0] == ("S1", "D2", "WWW", "Morning")
+        assert relation.rows[-1] == ("S3", "D3", "P2P", "Night")
+
+    def test_cardinalities(self):
+        relation = table1_relation()
+        assert relation.distinct(["source"]) == {("S1",), ("S2",), ("S3",)}
+        assert relation.distinct(["destination"]) == {("D1",), ("D2",), ("D3",)}
+        # Section 3.1: compound cardinality of {Source, Destination} is 9.
+        assert relation.compound_cardinality(["source", "destination"]) == 9
+
+    def test_s1_d3_support_is_four(self):
+        """Section 3.1: itemset (S1, D3) has support 4 and multiplicity 2
+        with respect to Service."""
+        relation = table1_relation()
+        pairs = list(relation.project(["source", "destination"]))
+        assert pairs.count(("S1", "D3")) == 4
+        services = {
+            row[2] for row in relation if (row[0], row[1]) == ("S1", "D3")
+        }
+        assert services == {"WWW", "P2P"}
+
+
+class TestScenarioEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioEvent("meteor", 0, 10)
+        with pytest.raises(ValueError):
+            ScenarioEvent("ddos", -1, 10)
+        with pytest.raises(ValueError):
+            ScenarioEvent("ddos", 0, 0)
+        with pytest.raises(ValueError):
+            ScenarioEvent("ddos", 0, 10, intensity=0.0)
+
+    def test_active_window(self):
+        event = ScenarioEvent("ddos", start=10, duration=5)
+        assert not event.active_at(9)
+        assert event.active_at(10)
+        assert event.active_at(14)
+        assert not event.active_at(15)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = list(NetworkTrafficGenerator(seed=3).tuples(100))
+        second = list(NetworkTrafficGenerator(seed=3).tuples(100))
+        assert first == second
+
+    def test_schema_shape(self):
+        for row in NetworkTrafficGenerator(seed=1).tuples(50):
+            assert len(row) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkTrafficGenerator(num_sources=0)
+
+    def test_ddos_raises_one_to_many_signal(self):
+        """During a DDoS the victim destinations are contacted by many
+        spoofed sources: the 'destinations contacted by more than N
+        sources' complement count must fire."""
+        event = ScenarioEvent(
+            "ddos",
+            start=500,
+            duration=3000,
+            intensity=0.9,
+            target="D-victim",
+            spread=10,
+            pool=500,
+        )
+        conditions = ImplicationConditions(max_multiplicity=20, min_support=1)
+        quiet = ExactImplicationCounter(conditions)
+        attacked = ExactImplicationCounter(conditions)
+        for counter, generator in (
+            (quiet, NetworkTrafficGenerator(seed=5)),
+            (attacked, NetworkTrafficGenerator(seed=5, events=[event])),
+        ):
+            for source, destination, __, __t in generator.tuples(4000):
+                counter.update((destination,), (source,))
+        assert attacked.status_of(("D-victim-0",)).value == "violated"
+        assert (
+            attacked.nonimplication_count()
+            >= quiet.nonimplication_count() + event.spread * 0.8
+        )
+
+    def test_port_scan_raises_source_fanout(self):
+        event = ScenarioEvent(
+            "port_scan",
+            start=0,
+            duration=3500,
+            intensity=0.8,
+            target="S-scanner",
+            spread=5,
+            pool=2000,
+        )
+        conditions = ImplicationConditions(max_multiplicity=50, min_support=1)
+        counter = ExactImplicationCounter(conditions)
+        generator = NetworkTrafficGenerator(seed=7, events=[event])
+        for source, destination, __, __t in generator.tuples(4000):
+            counter.update((source,), (destination,))
+        assert counter.status_of(("S-scanner-0",)).value == "violated"
+
+    def test_relation_materialization(self):
+        relation = NetworkTrafficGenerator(seed=2).relation(25)
+        assert len(relation) == 25

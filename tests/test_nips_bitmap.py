@@ -1,0 +1,184 @@
+"""Tests for the single NIPS bitmap: zones, floating fringe, CI readout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.nips import NIPSBitmap
+
+
+def make_bitmap(fringe_size=4, conditions=None, **kwargs) -> NIPSBitmap:
+    conditions = conditions or ImplicationConditions(
+        max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+    )
+    return NIPSBitmap(conditions, length=32, fringe_size=fringe_size, **kwargs)
+
+
+class TestGeometry:
+    def test_initial_zones(self):
+        bitmap = make_bitmap()
+        assert bitmap.fringe_start == 0
+        assert bitmap.fringe_end == 3
+        assert bitmap.zone_of(0) == "fringe"
+        assert bitmap.zone_of(4) == "zone0"
+
+    def test_unbounded_fringe_spans_everything(self):
+        bitmap = make_bitmap(fringe_size=None)
+        assert bitmap.fringe_end == 31
+        assert bitmap.zone_of(31) == "fringe"
+
+    def test_cell_capacity_doubles_leftward(self):
+        bitmap = make_bitmap(capacity_slack=2)
+        assert bitmap.cell_capacity(3) == 2  # right edge expects 1 itemset
+        assert bitmap.cell_capacity(2) == 4
+        assert bitmap.cell_capacity(0) == 16
+
+    def test_unbounded_capacity_is_none(self):
+        assert make_bitmap(fringe_size=None).cell_capacity(0) is None
+
+    def test_validation(self):
+        conditions = ImplicationConditions()
+        with pytest.raises(ValueError):
+            NIPSBitmap(conditions, length=0)
+        with pytest.raises(ValueError):
+            NIPSBitmap(conditions, fringe_size=0)
+        with pytest.raises(ValueError):
+            NIPSBitmap(conditions, capacity_slack=0)
+
+
+class TestFloating:
+    def test_zone0_hit_floats_fringe(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(10, "a", "b")
+        assert bitmap.fringe_end == 10
+        assert bitmap.fringe_start == 7
+        assert bitmap.zone_of(6) == "zone1"
+
+    def test_float_fixates_skipped_cells(self):
+        """Cells dropped off the left edge count as value-1 (Section 4.3.3)."""
+        bitmap = make_bitmap()
+        bitmap.update_at(0, "a0", "b")
+        bitmap.update_at(10, "a1", "b")
+        # Cell 0 (and everything below 7) is now Zone-1: reads as one.
+        assert bitmap.leftmost_zero_nonimplication() == 7
+
+    def test_violation_sets_cell_and_advances(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(0, "a", "b1")
+        bitmap.update_at(0, "a", "b2")  # K=1 violated -> cell 0 value 1
+        assert bitmap.fringe_start == 1
+        assert bitmap.leftmost_zero_nonimplication() == 1
+
+    def test_violation_in_middle_does_not_advance(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(2, "a", "b1")
+        bitmap.update_at(2, "a", "b2")
+        assert bitmap.fringe_start == 0
+        assert bitmap.leftmost_zero_nonimplication() == 0
+
+    def test_advance_skips_consecutive_ones(self):
+        bitmap = make_bitmap()
+        # Violate cell 1 first, then cell 0: the advance should jump to 2.
+        bitmap.update_at(1, "a1", "b1")
+        bitmap.update_at(1, "a1", "b2")
+        bitmap.update_at(0, "a0", "b1")
+        bitmap.update_at(0, "a0", "b2")
+        assert bitmap.fringe_start == 2
+
+    def test_decided_cell_ignores_new_itemsets(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(2, "a", "b1")
+        bitmap.update_at(2, "a", "b2")  # decides cell 2
+        bitmap.update_at(2, "fresh", "b1")
+        assert bitmap.stored_itemsets() == 0
+
+    def test_fringe_start_never_regresses(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(10, "a", "b")
+        start = bitmap.fringe_start
+        bitmap.update_at(0, "early", "b")  # Zone-1 hit: no state change
+        assert bitmap.fringe_start == start
+        assert bitmap.stored_itemsets() == 1
+
+
+class TestOverflow:
+    def test_overflow_decides_cell(self):
+        bitmap = make_bitmap(capacity_slack=1)
+        # Right edge cell (3) has capacity 1: the second itemset overflows.
+        bitmap.update_at(3, "a1", "b")
+        bitmap.update_at(3, "a2", "b")
+        assert bitmap.leftmost_zero_nonimplication() == 0  # cell 3 is 1, 0-2 zero
+        assert 3 in bitmap._value_one
+
+    def test_existing_itemset_never_overflows(self):
+        bitmap = make_bitmap(capacity_slack=1)
+        bitmap.update_at(3, "a1", "b")
+        for _ in range(10):
+            bitmap.update_at(3, "a1", "b")  # updates, not inserts
+        assert 3 not in bitmap._value_one
+
+    def test_unbounded_fringe_never_overflows(self):
+        bitmap = make_bitmap(fringe_size=None)
+        for index in range(100):
+            bitmap.update_at(0, f"a{index}", "b")
+        assert bitmap.stored_itemsets() == 100
+        assert bitmap.leftmost_zero_nonimplication() == 0
+
+
+class TestReadouts:
+    def test_supported_requires_min_support(self):
+        conditions = ImplicationConditions(
+            max_multiplicity=1, min_support=3, top_c=1, min_top_confidence=1.0
+        )
+        bitmap = make_bitmap(conditions=conditions)
+        bitmap.update_at(0, "a", "b")
+        assert bitmap.leftmost_zero_supported() == 0
+        bitmap.update_at(0, "a", "b")
+        bitmap.update_at(0, "a", "b")
+        assert bitmap.leftmost_zero_supported() == 1
+        # Still not a non-implication: it satisfies the conditions.
+        assert bitmap.leftmost_zero_nonimplication() == 0
+
+    def test_supported_run_must_be_contiguous(self):
+        conditions = ImplicationConditions(min_support=1)
+        bitmap = make_bitmap(conditions=conditions)
+        bitmap.update_at(2, "a", "b")
+        assert bitmap.leftmost_zero_supported() == 0  # cell 0 empty
+
+    def test_implication_estimate_is_difference(self):
+        conditions = ImplicationConditions(
+            max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+        )
+        bitmap = make_bitmap(conditions=conditions)
+        bitmap.update_at(0, "good", "b")
+        estimate = bitmap.estimate_implication(correct_bias=False)
+        assert estimate == pytest.approx(2.0 ** 1 - 2.0 ** 0)
+
+    def test_nonimplication_estimate_raw(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(0, "a", "b1")
+        bitmap.update_at(0, "a", "b2")
+        assert bitmap.estimate_nonimplication(correct_bias=False) == 2.0
+
+    def test_scalar_update_uses_own_hash(self):
+        bitmap = make_bitmap()
+        bitmap.update("alpha", "b1")
+        bitmap.update("alpha", "b2")
+        assert bitmap.tuples_seen == 2
+        assert bitmap.leftmost_zero_nonimplication() >= 0
+
+
+class TestMemoryAccounting:
+    def test_memory_freed_on_violation(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(0, "a", "b1")
+        assert bitmap.counter_count() == 2
+        bitmap.update_at(0, "a", "b2")
+        assert bitmap.counter_count() == 0
+
+    def test_stored_itemsets_counts_across_cells(self):
+        bitmap = make_bitmap()
+        bitmap.update_at(0, "a0", "b")
+        bitmap.update_at(1, "a1", "b")
+        assert bitmap.stored_itemsets() == 2

@@ -1,0 +1,152 @@
+"""Tests for the simulated OLAP stream (the Section 6.2 substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.datasets.olap import (
+    DEDICATED_E,
+    TABLE3_CARDINALITIES,
+    TABLE4_CHECKPOINTS,
+    OlapStreamGenerator,
+    workload_columns,
+    workload_conditions,
+)
+
+
+def collect(total: int, seed: int = 0) -> dict[str, np.ndarray]:
+    generator = OlapStreamGenerator(total, seed=seed)
+    chunks = list(generator.chunks(chunk_size=total))
+    assert len(chunks) == 1
+    return chunks[0]
+
+
+class TestShape:
+    def test_table3_cardinalities_are_respected(self):
+        chunk = collect(50_000)
+        for name, cardinality in TABLE3_CARDINALITIES.items():
+            values = chunk[name]
+            assert values.min() >= 0
+            assert values.max() < cardinality
+
+    def test_small_dimensions_fully_realized(self):
+        chunk = collect(50_000)
+        assert len(np.unique(chunk["C"])) == 2
+        assert len(np.unique(chunk["D"])) == 2
+        assert len(np.unique(chunk["F"])) == TABLE3_CARDINALITIES["F"]
+
+    def test_e_dimension_realizes_most_of_its_cardinality(self):
+        """The stray layer spreads E across its full Table 3 range."""
+        chunk = collect(200_000)
+        assert len(np.unique(chunk["E"])) > TABLE3_CARDINALITIES["E"] * 0.3
+
+    def test_chunking_covers_total(self):
+        generator = OlapStreamGenerator(10_000, seed=1)
+        sizes = [len(chunk["A"]) for chunk in generator.chunks(3000)]
+        assert sum(sizes) == 10_000
+        assert sizes == [3000, 3000, 3000, 1000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OlapStreamGenerator(10)
+        generator = OlapStreamGenerator(10_000)
+        with pytest.raises(ValueError):
+            next(generator.chunks(0))
+
+    def test_reproducible(self):
+        first = collect(20_000, seed=4)
+        second = collect(20_000, seed=4)
+        for name in first:
+            assert np.array_equal(first[name], second[name])
+
+
+class TestWorkloads:
+    def test_workload_columns_shapes(self):
+        chunk = collect(10_000)
+        for workload in ("A", "B"):
+            lhs, rhs = workload_columns(chunk, workload)
+            assert lhs.dtype == np.uint64
+            assert len(lhs) == len(rhs) == 10_000
+
+    def test_workload_a_is_compound(self):
+        chunk = collect(10_000)
+        lhs_a, __ = workload_columns(chunk, "A")
+        lhs_b, __ = workload_columns(chunk, "B")
+        assert len(np.unique(lhs_a)) > len(np.unique(lhs_b))
+
+    def test_unknown_workload(self):
+        chunk = collect(2_000)
+        with pytest.raises(ValueError):
+            workload_columns(chunk, "C")
+
+    def test_conditions_match_table5(self):
+        conditions = workload_conditions(min_support=5, min_top_confidence=0.6)
+        assert conditions.max_multiplicity == 2  # K = 2 (Table 5)
+        assert conditions.top_c == 1
+        assert conditions.min_support == 5
+
+    def test_table4_checkpoints_shape(self):
+        assert len(TABLE4_CHECKPOINTS) == 6
+        tuples = [t for t, _, _ in TABLE4_CHECKPOINTS]
+        assert tuples == sorted(tuples)
+        assert TABLE4_CHECKPOINTS[-1][1] == 187_584
+
+
+class TestImplicationStructure:
+    def test_workload_counts_grow(self):
+        """Exact workload-A counts must grow monotonically with the stream
+        (the Table 4 property)."""
+        total = 60_000
+        generator = OlapStreamGenerator(total, seed=3)
+        exact = ExactImplicationCounter(workload_conditions())
+        counts = []
+        for chunk in generator.chunks(12_000):
+            lhs, rhs = workload_columns(chunk, "A")
+            exact.update_batch(lhs, rhs)
+            counts.append(exact.implication_count())
+        # Near-monotone: sticky violations may retire the odd itemset, but
+        # the Table 4 growth shape must dominate.
+        for earlier, later in zip(counts, counts[1:]):
+            assert later >= earlier * 0.95
+        assert counts[-1] > counts[0] > 0
+
+    def test_workload_b_population_bounded(self):
+        """Workload B's qualifying population is the dedicated-E set."""
+        total = 60_000
+        generator = OlapStreamGenerator(total, seed=3)
+        exact = ExactImplicationCounter(workload_conditions())
+        for chunk in generator.chunks(20_000):
+            lhs, rhs = workload_columns(chunk, "B")
+            exact.update_batch(lhs, rhs)
+        count = exact.implication_count()
+        assert 0 < count <= DEDICATED_E
+
+    def test_theta_08_reduces_counts(self):
+        """Roughly a third of clean keys carry noise above 20%, so the
+        theta=0.8 count must be clearly below the theta=0.6 count."""
+        total = 40_000
+        results = {}
+        for theta in (0.6, 0.8):
+            generator = OlapStreamGenerator(total, seed=6)
+            exact = ExactImplicationCounter(
+                workload_conditions(min_top_confidence=theta)
+            )
+            for chunk in generator.chunks(20_000):
+                lhs, rhs = workload_columns(chunk, "A")
+                exact.update_batch(lhs, rhs)
+            results[theta] = exact.implication_count()
+        assert results[0.8] < results[0.6] * 0.9
+
+    def test_higher_support_reduces_counts(self):
+        total = 40_000
+        results = {}
+        for sigma in (5, 50):
+            generator = OlapStreamGenerator(total, seed=8)
+            exact = ExactImplicationCounter(workload_conditions(min_support=sigma))
+            for chunk in generator.chunks(20_000):
+                lhs, rhs = workload_columns(chunk, "A")
+                exact.update_batch(lhs, rhs)
+            results[sigma] = exact.implication_count()
+        assert results[50] < results[5]

@@ -1,0 +1,137 @@
+"""Integration tests asserting the paper's *shape* conclusions.
+
+Each test corresponds to a claim the evaluation section makes.  Absolute
+numbers differ (our substrate is a simulator and the trials are smaller),
+so bounds are generous — but the orderings and regimes must hold:
+
+1. NIPS/CI estimates implication counts within a small relative error
+   across the Dataset One sweep (Figures 4-6 envelope).
+2. The bounded fringe (F=4) tracks the unbounded fringe closely
+   (Figures 4-6: "the difference ... is negligible").
+3. Fixing the fringe floors the estimable non-implication count at
+   ``2**-F * F0`` (Section 4.3.3) — a larger fringe resolves smaller counts.
+4. ILC returns very erroneous results on the OLAP workloads while using
+   *more* memory than NIPS/CI (Figure 7 discussion).
+5. NIPS/CI memory stays bounded while exact memory grows with the number
+   of distinct itemsets (Section 4.6).
+6. DS degrades when minimum support rises (Figure 7a vs 7b discussion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.errors import relative_error, summarize_errors
+from repro.baselines.exact import ExactImplicationCounter
+from repro.core.approximation import minimum_estimable_count
+from repro.core.estimator import ImplicationCountEstimator
+from repro.datasets.synthetic import generate_dataset_one
+from repro.experiments import run_dataset_one_point, run_workload
+
+
+class TestClaim1AccuracyEnvelope:
+    def test_mean_error_small_across_sweep(self):
+        """Paper envelope is 5-10% over 100 trials; we allow 25% with 4."""
+        for fraction in (0.3, 0.6, 0.9):
+            point = run_dataset_one_point(
+                400, fraction, c=1, trials=4, base_seed=17
+            )
+            assert point.bounded.mean < 0.25, (fraction, point.bounded)
+
+    def test_error_does_not_explode_with_c(self):
+        for c in (1, 2, 4):
+            point = run_dataset_one_point(300, 0.5, c=c, trials=3, base_seed=5)
+            assert point.bounded.mean < 0.30, (c, point.bounded)
+
+
+class TestClaim2BoundedTracksUnbounded:
+    def test_difference_negligible_for_moderate_counts(self):
+        point = run_dataset_one_point(500, 0.5, c=1, trials=4, base_seed=29)
+        assert abs(point.bounded.mean - point.unbounded.mean) < 0.15
+
+
+class TestClaim3FringeFloor:
+    def test_larger_fringe_resolves_smaller_counts(self):
+        """Build a stream whose non-implication count sits below the F=2
+        floor but above the F=6 floor; the F=6 estimate must be materially
+        better."""
+        errors = {2: [], 6: []}
+        for seed in range(4):
+            data = generate_dataset_one(1500, 1400, c=1, seed=seed)
+            actual = float(data.truth.violated)  # ~66 of 1500 distinct
+            floor_f2 = minimum_estimable_count(2, 1500)
+            assert actual < floor_f2  # below the F=2 floor: clamping regime
+            for fringe in (2, 6):
+                estimator = ImplicationCountEstimator(
+                    data.conditions, fringe_size=fringe, seed=seed + 40
+                )
+                estimator.update_batch(data.lhs, data.rhs)
+                errors[fringe].append(
+                    relative_error(actual, estimator.nonimplication_count())
+                )
+        mean_f2 = summarize_errors(errors[2]).mean
+        mean_f6 = summarize_errors(errors[6]).mean
+        assert mean_f6 < mean_f2
+
+    def test_floor_formula(self):
+        assert minimum_estimable_count(4, 1600) == 100.0
+
+
+class TestClaim4IlcFailsOnWorkloads:
+    def test_ilc_much_worse_than_nips_late_in_stream(self):
+        run = run_workload(
+            "A",
+            60_000,
+            min_support=5,
+            min_top_confidence=0.6,
+            checkpoints=[40_000, 60_000],
+            seed=31,
+        )
+        last = run.rows[-1]
+        assert last.error("ilc") > 0.5  # "very erroneous" (Fig. 7)
+        assert last.error("nips") < 0.3
+        assert last.error("ilc") > 2 * last.error("nips")
+
+
+class TestClaim5MemoryScaling:
+    def test_nips_memory_constant_while_exact_grows(self):
+        small = generate_dataset_one(300, 150, c=1, seed=1)
+        large = generate_dataset_one(3000, 1500, c=1, seed=1)
+        footprints = {}
+        for label, data in (("small", small), ("large", large)):
+            estimator = ImplicationCountEstimator(data.conditions, seed=2)
+            exact = ExactImplicationCounter(data.conditions)
+            estimator.update_batch(data.lhs, data.rhs)
+            exact.update_batch(data.lhs, data.rhs)
+            footprints[label] = (
+                estimator.memory_profile().stored_itemsets,
+                exact.distinct_count(),
+            )
+        sketch_growth = footprints["large"][0] / max(footprints["small"][0], 1)
+        exact_growth = footprints["large"][1] / footprints["small"][1]
+        assert exact_growth == pytest.approx(10.0)
+        assert sketch_growth < 3.0  # bounded by the fringe budget, not |A|
+
+
+class TestClaim6DsDegradesWithSupport:
+    def test_ds_worse_at_sigma_50(self):
+        """DS scales the qualifying fraction of its sample by 2**level; at
+        sigma=50 far fewer sampled itemsets qualify, so the scaled estimate
+        is noisier (a variance effect — averaged over seeds)."""
+        checkpoints = [150_000]
+        errors = {5: [], 50: []}
+        for seed in (43, 44, 45):
+            for sigma in (5, 50):
+                run = run_workload(
+                    "A",
+                    150_000,
+                    min_support=sigma,
+                    min_top_confidence=0.6,
+                    checkpoints=checkpoints,
+                    algorithms=("ds",),
+                    seed=seed,
+                )
+                errors[sigma].append(run.rows[-1].error("ds"))
+        mean_5 = summarize_errors(errors[5]).mean
+        mean_50 = summarize_errors(errors[50]).mean
+        assert mean_50 > mean_5

@@ -1,0 +1,150 @@
+"""Hypothesis property tests on the core invariants.
+
+These exercise the state machines with adversarial random streams, checking
+the invariants the paper's correctness argument rests on:
+
+* statuses move monotonically (pending -> satisfied <-> ... -> violated,
+  with violated absorbing);
+* the non-implication count is monotone non-decreasing over any stream;
+* exact counting is order-independent;
+* the batch and scalar estimator paths agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.core.conditions import ImplicationConditions, ItemsetStatus
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.tracker import ItemsetState
+
+conditions_strategy = st.builds(
+    lambda k, tau, c, theta: ImplicationConditions(
+        max_multiplicity=max(k, c),
+        min_support=tau,
+        top_c=c,
+        min_top_confidence=theta,
+    ),
+    k=st.integers(min_value=1, max_value=5),
+    tau=st.integers(min_value=1, max_value=6),
+    c=st.integers(min_value=1, max_value=3),
+    theta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+stream_strategy = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 7)), min_size=1, max_size=120
+)
+
+
+class TestStateMachineInvariants:
+    @given(conditions=conditions_strategy, partners=st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_violated_is_absorbing(self, conditions, partners):
+        state = ItemsetState()
+        seen_violated = False
+        for partner in partners:
+            status = state.observe(partner, conditions)
+            if seen_violated:
+                assert status is ItemsetStatus.VIOLATED
+            seen_violated = seen_violated or status is ItemsetStatus.VIOLATED
+
+    @given(conditions=conditions_strategy, partners=st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_support_equals_observations(self, conditions, partners):
+        state = ItemsetState()
+        for partner in partners:
+            state.observe(partner, conditions)
+        assert state.support == len(partners)
+
+    @given(conditions=conditions_strategy, partners=st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_top_confidence_bounded(self, conditions, partners):
+        state = ItemsetState()
+        for partner in partners:
+            state.observe(partner, conditions)
+            assert 0.0 <= state.top_confidence(conditions) <= 1.0
+
+    @given(conditions=conditions_strategy, partners=st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_partner_storage_bounded_by_k(self, conditions, partners):
+        state = ItemsetState()
+        for partner in partners:
+            state.observe(partner, conditions)
+            if state.partners is not None:
+                assert len(state.partners) <= conditions.max_multiplicity
+
+
+class TestExactCounterInvariants:
+    @given(conditions=conditions_strategy, stream=stream_strategy)
+    def test_nonimplication_count_monotone(self, conditions, stream):
+        counter = ExactImplicationCounter(conditions)
+        previous = 0.0
+        for itemset, partner in stream:
+            counter.update(itemset, partner)
+            current = counter.nonimplication_count()
+            assert current >= previous
+            previous = current
+
+    @given(conditions=conditions_strategy, stream=stream_strategy)
+    def test_counts_partition_supported(self, conditions, stream):
+        counter = ExactImplicationCounter(conditions)
+        for itemset, partner in stream:
+            counter.update(itemset, partner)
+        assert (
+            counter.implication_count() + counter.nonimplication_count()
+            == counter.supported_distinct_count()
+        )
+        assert counter.supported_distinct_count() <= counter.distinct_count()
+
+
+class TestEstimatorInvariants:
+    @settings(deadline=None, max_examples=25)
+    @given(conditions=conditions_strategy, stream=stream_strategy)
+    def test_batch_equals_scalar(self, conditions, stream):
+        lhs = np.array([a for a, _ in stream], dtype=np.uint64)
+        rhs = np.array([b for _, b in stream], dtype=np.uint64)
+        scalar = ImplicationCountEstimator(conditions, num_bitmaps=8, seed=3)
+        batch = ImplicationCountEstimator(conditions, num_bitmaps=8, seed=3)
+        for a, b in stream:
+            scalar.update(a, b)
+        batch.update_batch(lhs, rhs)
+        assert scalar.implication_count() == batch.implication_count()
+        assert scalar.nonimplication_count() == batch.nonimplication_count()
+        assert scalar.supported_distinct_count() == batch.supported_distinct_count()
+
+    @settings(deadline=None, max_examples=25)
+    @given(conditions=conditions_strategy, stream=stream_strategy)
+    def test_estimates_nonnegative_and_consistent(self, conditions, stream):
+        estimator = ImplicationCountEstimator(conditions, num_bitmaps=8, seed=5)
+        for itemset, partner in stream:
+            estimator.update(itemset, partner)
+        supported = estimator.supported_distinct_count()
+        nonimpl = estimator.nonimplication_count()
+        assert supported >= 0.0
+        assert nonimpl >= 0.0
+        assert supported >= nonimpl
+        assert estimator.implication_count() >= 0.0
+
+    @settings(deadline=None, max_examples=25)
+    @given(stream=stream_strategy)
+    def test_fringe_invariants_hold_throughout(self, stream):
+        conditions = ImplicationConditions(
+            max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+        )
+        estimator = ImplicationCountEstimator(
+            conditions, num_bitmaps=8, fringe_size=3, seed=7
+        )
+        for itemset, partner in stream:
+            estimator.update(itemset, partner)
+            for bitmap in estimator.bitmaps:
+                # The first fringe cell is always undecided (value 0).
+                assert bitmap.fringe_start not in bitmap._value_one
+                # Decided cells only exist inside the fringe window.
+                for position in bitmap._value_one:
+                    assert bitmap.fringe_start <= position <= bitmap.fringe_end
+                # Storage never leaks outside the fringe window.
+                for position in bitmap._cells:
+                    assert bitmap.fringe_start <= position <= bitmap.fringe_end
+                # R_Sbar from the scan equals the maintained fringe_start.
+                assert (
+                    bitmap.leftmost_zero_nonimplication() == bitmap.fringe_start
+                )

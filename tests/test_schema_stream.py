@@ -1,0 +1,175 @@
+"""Tests for the stream substrate: schema, relation, sources, windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.schema import Relation, Schema
+from repro.stream.sources import RateMeter, chunked, read_csv, shuffled, take, write_csv
+from repro.stream.windows import sliding_counts, tumbling, window_index
+
+
+class TestSchema:
+    def test_attribute_lookup(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.index("b") == 1
+        assert "c" in schema
+        assert "z" not in schema
+        assert len(schema) == 3
+
+    def test_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            Schema(["a"]).index("b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_projector_single_returns_tuple(self):
+        project = Schema(["a", "b"]).projector(["b"])
+        assert project(("x", "y")) == ("y",)
+
+    def test_projector_multiple(self):
+        project = Schema(["a", "b", "c"]).projector(["c", "a"])
+        assert project((1, 2, 3)) == (3, 1)
+
+    def test_dict_roundtrip(self):
+        schema = Schema(["a", "b"])
+        row = ("x", "y")
+        assert schema.row_from_mapping(schema.as_dict(row)) == row
+
+    def test_equality_and_hash(self):
+        assert Schema(["a"]) == Schema(["a"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestRelation:
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Relation(Schema(["a", "b"]), [("only-one",)])
+        relation = Relation(Schema(["a", "b"]))
+        with pytest.raises(ValueError):
+            relation.append(("x",))
+
+    def test_projection_and_distinct(self):
+        relation = Relation(Schema(["a", "b"]), [(1, 2), (1, 3), (1, 2)])
+        assert list(relation.project(["a"])) == [(1,), (1,), (1,)]
+        assert relation.distinct(["a", "b"]) == {(1, 2), (1, 3)}
+
+    def test_compound_cardinality(self):
+        relation = Relation(Schema(["a", "b"]), [(1, 2), (1, 3), (2, 2)])
+        # |a| = 2, |b| = 2 -> compound 4 (Section 3.1's definition).
+        assert relation.compound_cardinality(["a", "b"]) == 4
+
+    def test_from_dicts(self):
+        schema = Schema(["a", "b"])
+        relation = Relation.from_dicts(schema, [{"a": 1, "b": 2}])
+        assert relation.rows == [(1, 2)]
+
+    def test_iteration_and_len(self):
+        relation = Relation(Schema(["a"]), [(1,), (2,)])
+        assert len(relation) == 2
+        assert list(relation) == [(1,), (2,)]
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        relation = Relation(Schema(["x", "y"]), [("1", "a"), ("2", "b")])
+        path = tmp_path / "data.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded.schema == relation.schema
+        assert loaded.rows == relation.rows
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,a\n2,b\n")
+        loaded = read_csv(path, has_header=False)
+        assert loaded.schema.attributes == ("col0", "col1")
+        assert len(loaded) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestShuffled:
+    def test_exact_shuffle_is_permutation(self):
+        items = list(range(100))
+        out = list(shuffled(items, seed=1))
+        assert out != items
+        assert sorted(out) == items
+
+    def test_deterministic(self):
+        items = list(range(50))
+        assert list(shuffled(items, seed=2)) == list(shuffled(items, seed=2))
+
+    def test_bounded_buffer_is_permutation(self):
+        items = list(range(200))
+        out = list(shuffled(items, seed=3, buffer_size=16))
+        assert sorted(out) == items
+        assert out != items
+
+    def test_buffer_validation(self):
+        with pytest.raises(ValueError):
+            list(shuffled([1], buffer_size=0))
+
+
+class TestChunkedTake:
+    def test_chunked(self):
+        assert list(chunked(range(7), 3)) == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_chunked_validation(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    def test_take(self):
+        assert take(range(100), 3) == [0, 1, 2]
+        assert take(range(2), 5) == [0, 1]
+        with pytest.raises(ValueError):
+            take([1], -1)
+
+
+class TestWindows:
+    def test_tumbling(self):
+        assert list(tumbling(range(5), 2)) == [[0, 1], [2, 3], [4]]
+        with pytest.raises(ValueError):
+            list(tumbling([1], 0))
+
+    def test_window_index(self):
+        assert window_index(0, 10) == 0
+        assert window_index(9, 10) == 0
+        assert window_index(10, 10) == 1
+        with pytest.raises(ValueError):
+            window_index(-1, 10)
+        with pytest.raises(ValueError):
+            window_index(1, 0)
+
+    def test_sliding_counts(self):
+        results = list(sliding_counts(range(10), size=4, step=2, statistic=sum))
+        assert results == [(4, 0 + 1 + 2 + 3), (6, 2 + 3 + 4 + 5), (8, 4 + 5 + 6 + 7), (10, 6 + 7 + 8 + 9)]
+
+    def test_sliding_validation(self):
+        with pytest.raises(ValueError):
+            list(sliding_counts([1], size=0, step=1, statistic=len))
+        with pytest.raises(ValueError):
+            list(sliding_counts([1], size=1, step=0, statistic=len))
+
+
+class TestRateMeter:
+    def test_counts_and_rate(self):
+        meter = RateMeter()
+        with meter:
+            meter.count(100)
+        assert meter.tuples == 100
+        assert meter.tuples_per_second > 0
+
+    def test_zero_elapsed(self):
+        assert RateMeter().tuples_per_second == 0.0

@@ -1,0 +1,155 @@
+"""Tests for the sketch wire format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.serialize import (
+    SketchFormatError,
+    _decode_key,
+    _encode_key,
+    estimator_from_bytes,
+    estimator_from_dict,
+    estimator_to_bytes,
+    estimator_to_dict,
+)
+from repro.datasets.synthetic import generate_dataset_one
+from repro.sketch.hashing import HashFamily
+
+
+def loaded_estimator(seed: int = 3) -> ImplicationCountEstimator:
+    data = generate_dataset_one(300, 150, c=2, seed=seed)
+    estimator = ImplicationCountEstimator(data.conditions, seed=seed)
+    estimator.update_batch(data.lhs, data.rhs)
+    return estimator
+
+
+class TestKeyEncoding:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            0,
+            -5,
+            (1 << 63) + 17,  # beyond JSON float precision
+            "service",
+            b"\x00\xff",
+            3.5,
+            None,
+            True,
+            False,
+            ("S1", "D3"),
+            (("nested", 1), b"x", 2.0),
+        ],
+    )
+    def test_roundtrip(self, key):
+        assert _decode_key(_encode_key(key)) == key
+
+    def test_unsupported_key(self):
+        with pytest.raises(SketchFormatError):
+            _encode_key(object())
+
+    def test_malformed_payloads(self):
+        with pytest.raises(SketchFormatError):
+            _decode_key({"x": 1})
+        with pytest.raises(SketchFormatError):
+            _decode_key("raw")
+
+
+class TestEstimatorRoundtrip:
+    def test_bytes_roundtrip_preserves_every_estimate(self):
+        original = loaded_estimator()
+        restored = ImplicationCountEstimator.from_bytes(original.to_bytes())
+        assert restored.implication_count() == original.implication_count()
+        assert restored.nonimplication_count() == original.nonimplication_count()
+        assert (
+            restored.supported_distinct_count()
+            == original.supported_distinct_count()
+        )
+        assert restored.tuples_seen == original.tuples_seen
+
+    def test_restored_estimator_keeps_working(self):
+        """State must be live, not a frozen snapshot: further updates and
+        merges behave identically to the original."""
+        original = loaded_estimator()
+        restored = ImplicationCountEstimator.from_bytes(original.to_bytes())
+        extra = generate_dataset_one(100, 50, c=1, seed=77)
+        # Conditions differ between datasets; feed raw pairs instead.
+        for a, b in list(extra.pairs())[:2000]:
+            original.update(a, b)
+            restored.update(a, b)
+        assert restored.implication_count() == original.implication_count()
+
+    def test_dict_roundtrip(self):
+        original = loaded_estimator()
+        restored = estimator_from_dict(estimator_to_dict(original))
+        assert restored.implication_count() == original.implication_count()
+
+    def test_payload_is_compact(self):
+        """Section 4.6's point: the sketch is small no matter the stream."""
+        original = loaded_estimator()
+        payload = original.to_bytes()
+        assert len(payload) < 64 * 1024
+        assert original.tuples_seen > 20_000
+
+    def test_string_and_tuple_itemsets_roundtrip(self):
+        conditions = ImplicationConditions(
+            max_multiplicity=2, min_support=1, top_c=1, min_top_confidence=0.5
+        )
+        estimator = ImplicationCountEstimator(conditions, num_bitmaps=8, seed=1)
+        estimator.update(("S1", "D3"), ("WWW",))
+        estimator.update(("S1", "D3"), ("P2P",))
+        estimator.update("plain-string", 42)
+        restored = ImplicationCountEstimator.from_bytes(estimator.to_bytes())
+        assert restored.implication_count() == estimator.implication_count()
+        # Continue the stream with the same keys: dictionaries must rehash
+        # to the same entries.
+        estimator.update(("S1", "D3"), ("WWW",))
+        restored.update(("S1", "D3"), ("WWW",))
+        assert restored.nonimplication_count() == estimator.nonimplication_count()
+
+    @pytest.mark.parametrize("kind", ["splitmix", "multiply-shift", "polynomial", "tabulation"])
+    def test_every_hash_family_roundtrips(self, kind):
+        conditions = ImplicationConditions(max_multiplicity=1)
+        estimator = ImplicationCountEstimator(
+            conditions,
+            num_bitmaps=8,
+            hash_function=HashFamily(kind, seed=5).one(),
+        )
+        estimator.update("a", "b")
+        restored = ImplicationCountEstimator.from_bytes(estimator.to_bytes())
+        assert repr(restored.hash_function) == repr(estimator.hash_function)
+
+
+class TestFormatValidation:
+    def test_bad_magic(self):
+        with pytest.raises(SketchFormatError):
+            estimator_from_bytes(b"JUNKdata")
+
+    def test_truncated(self):
+        with pytest.raises(SketchFormatError):
+            estimator_from_bytes(b"NIP")
+
+    def test_bad_version(self):
+        payload = loaded_estimator().to_bytes()
+        with pytest.raises(SketchFormatError):
+            estimator_from_bytes(payload[:4] + bytes([99]) + payload[5:])
+
+    def test_corrupt_body(self):
+        payload = loaded_estimator().to_bytes()
+        with pytest.raises(SketchFormatError):
+            estimator_from_bytes(payload[:5] + b"garbage")
+
+    def test_version_checked_in_dict(self):
+        snapshot = estimator_to_dict(loaded_estimator())
+        snapshot["version"] = 99
+        with pytest.raises(SketchFormatError):
+            estimator_from_dict(snapshot)
+
+    def test_bitmap_count_checked(self):
+        snapshot = estimator_to_dict(loaded_estimator())
+        snapshot["bitmaps"] = snapshot["bitmaps"][:3]
+        with pytest.raises(SketchFormatError):
+            estimator_from_dict(snapshot)

@@ -1,0 +1,97 @@
+"""Tests for Sticky Sampling and its implication extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sticky_sampling import (
+    ImplicationStickySampling,
+    StickySampling,
+)
+from repro.core.conditions import ImplicationConditions
+
+
+class TestStickySampling:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StickySampling(epsilon=0.0, support=0.1)
+        with pytest.raises(ValueError):
+            StickySampling(epsilon=0.1, support=0.0)
+        with pytest.raises(ValueError):
+            StickySampling(epsilon=0.2, support=0.1)  # eps > support
+        with pytest.raises(ValueError):
+            StickySampling(epsilon=0.05, support=0.1, delta=0.0)
+
+    def test_everything_sampled_at_rate_one(self):
+        sampler = StickySampling(epsilon=0.1, support=0.2, seed=1)
+        for item in ["a", "b", "a"]:
+            sampler.update(item)
+        assert sampler.frequency("a") == 2
+        assert sampler.frequency("b") == 1
+
+    def test_frequent_item_survives_rate_changes(self):
+        sampler = StickySampling(epsilon=0.05, support=0.2, delta=0.1, seed=2)
+        for index in range(20_000):
+            sampler.update("hot" if index % 3 == 0 else f"cold-{index}")
+        assert "hot" in sampler.frequent_items()
+        assert sampler.sampling_rate > 1
+
+    def test_rate_changes_bound_memory(self):
+        sampler = StickySampling(epsilon=0.05, support=0.1, delta=0.1, seed=3)
+        for index in range(50_000):
+            sampler.update(index)  # all distinct
+        # t = 20 * ln(100) ~ 93; expected entries ~ 2t.
+        assert sampler.entry_count() < 2000
+
+    def test_frequency_of_unknown(self):
+        sampler = StickySampling(epsilon=0.1, support=0.2)
+        assert sampler.frequency("ghost") == 0
+
+
+class TestImplicationStickySampling:
+    def make(self, **kwargs) -> ImplicationStickySampling:
+        conditions = ImplicationConditions(
+            max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+        )
+        kwargs.setdefault("epsilon", 0.05)
+        kwargs.setdefault("relative_support", 0.05)
+        return ImplicationStickySampling(conditions, **kwargs)
+
+    def test_identifies_implications(self):
+        iss = self.make(seed=1)
+        for __ in range(100):
+            iss.update("good", "partner")
+        assert iss.implication_count() == 1.0
+
+    def test_dirty_marking(self):
+        iss = self.make(seed=2)
+        for __ in range(30):
+            iss.update("bad", "b1")
+            iss.update("bad", "b2")
+        assert iss.nonimplication_count() >= 1.0
+        assert iss.implication_count() == 0.0
+
+    def test_dirty_survive_diminishing(self):
+        iss = self.make(epsilon=0.1, relative_support=0.1, delta=0.5, seed=3)
+        for __ in range(10):
+            iss.update("dirty", "b1")
+            iss.update("dirty", "b2")
+        assert iss._entries["dirty"].dirty
+        for index in range(20_000):
+            iss.update(f"noise-{index}", "b")
+        assert "dirty" in iss._entries  # dirty entries are never diminished
+
+    def test_weighted_update(self):
+        iss = self.make(seed=4)
+        iss.update("a", "b", weight=4)
+        assert iss.tuples_seen == 4
+
+    def test_update_many(self):
+        iss = self.make(seed=5)
+        iss.update_many([("a", "b"), ("a", "b")])
+        assert iss.tuples_seen == 2
+
+    def test_entry_count_includes_pairs(self):
+        iss = self.make(seed=6)
+        iss.update("a", "b1")
+        assert iss.entry_count() == 2  # itemset entry + one pair entry

@@ -1,0 +1,148 @@
+"""Tests for the Dataset One generator (Section 6.1).
+
+The central invariant: the ground truth known by construction must equal
+what the exact reference counter computes from the emitted stream, for any
+(cardinality, implied count, c) and in any tuple order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import ExactImplicationCounter
+from repro.datasets.synthetic import (
+    DatasetOne,
+    GroundTruth,
+    SUPPORT_VIOLATOR_TUPLES,
+    TUPLES_PER_PAIR,
+    generate_dataset_one,
+)
+
+
+def verify_against_exact(data: DatasetOne) -> None:
+    exact = ExactImplicationCounter(data.conditions)
+    exact.update_batch(data.lhs, data.rhs)
+    assert exact.implication_count() == data.truth.satisfied
+    assert exact.nonimplication_count() == data.truth.violated
+    assert exact.supported_distinct_count() == data.truth.supported
+    assert exact.distinct_count() == data.cardinality
+
+
+class TestGroundTruthMatchesExact:
+    @pytest.mark.parametrize("c", [1, 2, 4])
+    def test_across_c(self, c):
+        verify_against_exact(generate_dataset_one(240, 120, c=c, seed=5))
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+    def test_across_fractions(self, fraction):
+        cardinality = 300
+        implied = int(cardinality * fraction)
+        verify_against_exact(
+            generate_dataset_one(cardinality, implied, c=2, seed=7)
+        )
+
+    def test_unshuffled_order(self):
+        verify_against_exact(
+            generate_dataset_one(200, 100, c=1, seed=9, shuffle=False)
+        )
+
+    def test_order_independence(self):
+        """Shuffled and unshuffled streams give identical exact counts
+        (the purpose of the paper's shuffle step)."""
+        kwargs = dict(cardinality=150, implied_count=75, c=2, seed=11)
+        shuffled = generate_dataset_one(shuffle=True, **kwargs)
+        ordered = generate_dataset_one(shuffle=False, **kwargs)
+        for data in (shuffled, ordered):
+            verify_against_exact(data)
+        assert shuffled.num_tuples == ordered.num_tuples
+
+
+class TestComposition:
+    def test_truth_partitions_cardinality(self):
+        data = generate_dataset_one(400, 100, c=1, seed=1)
+        truth = data.truth
+        assert (
+            truth.satisfied
+            + truth.violated_confidence
+            + truth.violated_multiplicity
+            + truth.pending_support
+            == 400
+        )
+        assert truth.violated == truth.violated_confidence + truth.violated_multiplicity
+        assert truth.supported == truth.satisfied + truth.violated
+
+    def test_noise_split_in_thirds(self):
+        data = generate_dataset_one(400, 100, c=1, seed=1)
+        assert data.truth.violated_confidence == 100
+        assert data.truth.violated_multiplicity == 100
+        assert data.truth.pending_support == 100
+
+    def test_conditions_match_paper(self):
+        data = generate_dataset_one(100, 50, c=2, seed=0)
+        assert data.conditions.min_support == TUPLES_PER_PAIR == 50
+        assert data.conditions.top_c == 2
+        assert data.conditions.min_top_confidence == pytest.approx(0.9)
+        assert data.conditions.max_multiplicity == 20
+
+    def test_participant_supports(self):
+        """Every participant has support >= 54 (Section 6.1: '50 + 4')."""
+        data = generate_dataset_one(90, 60, c=1, seed=3)
+        supports = {}
+        for a in data.lhs.tolist():
+            supports[a] = supports.get(a, 0) + 1
+        participant_ids = set(range(60))  # allocated first by construction
+        for itemset, support in supports.items():
+            if itemset in participant_ids:
+                assert support >= TUPLES_PER_PAIR + 4
+
+    def test_support_violators_have_40_tuples(self):
+        data = generate_dataset_one(90, 30, c=1, seed=3, shuffle=False)
+        supports = {}
+        for a in data.lhs.tolist():
+            supports[a] = supports.get(a, 0) + 1
+        below = [s for s in supports.values() if s < TUPLES_PER_PAIR]
+        assert below
+        assert all(s == SUPPORT_VIOLATOR_TUPLES for s in below)
+
+    def test_pairs_iterator_matches_arrays(self):
+        data = generate_dataset_one(60, 30, c=1, seed=2)
+        pairs = list(data.pairs())
+        assert len(pairs) == data.num_tuples
+        assert pairs[0] == (int(data.lhs[0]), int(data.rhs[0]))
+
+
+class TestValidation:
+    def test_cardinality_bounds(self):
+        with pytest.raises(ValueError):
+            generate_dataset_one(2, 1)
+
+    def test_implied_count_bounds(self):
+        with pytest.raises(ValueError):
+            generate_dataset_one(100, 0)
+        with pytest.raises(ValueError):
+            generate_dataset_one(100, 100)
+
+    def test_c_bounds(self):
+        with pytest.raises(ValueError):
+            generate_dataset_one(100, 50, c=0)
+        with pytest.raises(ValueError):
+            generate_dataset_one(100, 50, c=5)  # 10c + 10 > 50 tuples
+
+    def test_reproducible(self):
+        first = generate_dataset_one(120, 60, c=2, seed=13)
+        second = generate_dataset_one(120, 60, c=2, seed=13)
+        assert np.array_equal(first.lhs, second.lhs)
+        assert np.array_equal(first.rhs, second.rhs)
+
+
+class TestGroundTruthDataclass:
+    def test_properties(self):
+        truth = GroundTruth(
+            satisfied=10,
+            violated_confidence=3,
+            violated_multiplicity=4,
+            pending_support=5,
+        )
+        assert truth.violated == 7
+        assert truth.supported == 17

@@ -1,0 +1,162 @@
+"""Tests for the shared per-itemset state machine (repro.core.tracker).
+
+Includes the worked examples of Sections 3.1 and 3.1.2, checked verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conditions import ImplicationConditions, ItemsetStatus
+from repro.core.tracker import ItemsetState, ItemsetTracker
+
+
+def paper_p2p_state() -> tuple[ItemsetState, ImplicationConditions]:
+    """The P2P service of Table 1: partners S1 (x2), S2 (x1), S3 (x1)."""
+    conditions = ImplicationConditions(min_support=1, top_c=2, min_top_confidence=0.0)
+    state = ItemsetState()
+    for partner in ["S1", "S2", "S1", "S3"]:
+        state.observe(partner, conditions)
+    return state, conditions
+
+
+class TestPaperExamples:
+    def test_p2p_top_confidence_levels(self):
+        """Section 3.1: for P2P the confidence levels are 2/4, 1/4, 1/4;
+        top-2 = 75%, top-3 = 100%, top-1 = 50%."""
+        state, __ = paper_p2p_state()
+        assert state.support == 4
+        assert state.multiplicity == 3
+        top = lambda c: state.top_confidence(
+            ImplicationConditions(min_support=1, top_c=c, min_top_confidence=0.0)
+        )
+        assert top(1) == pytest.approx(0.5)
+        assert top(2) == pytest.approx(0.75)
+        assert top(3) == pytest.approx(1.0)
+
+    def test_section_312_p2p_fails_80_percent(self):
+        """Section 3.1.2: with theta=80%, c=2, P2P (top-2 = 75%) fails."""
+        conditions = ImplicationConditions(
+            max_multiplicity=5, min_support=1, top_c=2, min_top_confidence=0.8
+        )
+        state = ItemsetState()
+        statuses = [state.observe(p, conditions) for p in ["S1", "S2", "S1", "S3"]]
+        assert statuses[-1] is ItemsetStatus.VIOLATED
+
+    def test_section_312_p2p_passes_75_percent(self):
+        """Section 3.1.2: lowering theta to 75% makes P2P valid."""
+        conditions = ImplicationConditions(
+            max_multiplicity=5, min_support=1, top_c=2, min_top_confidence=0.75
+        )
+        state = ItemsetState()
+        for partner in ["S1", "S2", "S1", "S3"]:
+            status = state.observe(partner, conditions)
+        assert status is ItemsetStatus.SATISFIED
+
+
+class TestItemsetState:
+    def test_pending_below_support(self):
+        conditions = ImplicationConditions(min_support=3)
+        state = ItemsetState()
+        assert state.observe("b", conditions) is ItemsetStatus.PENDING
+        assert state.observe("b", conditions) is ItemsetStatus.PENDING
+        assert state.observe("b", conditions) is ItemsetStatus.SATISFIED
+
+    def test_multiplicity_violation_at_support(self):
+        conditions = ImplicationConditions(max_multiplicity=2, min_support=1)
+        state = ItemsetState()
+        state.observe("b1", conditions)
+        state.observe("b2", conditions)
+        assert state.observe("b3", conditions) is ItemsetStatus.VIOLATED
+
+    def test_multiplicity_overflow_below_support_latches(self):
+        """Exceeding K while below min support dooms the itemset — once it
+        reaches support it must violate."""
+        conditions = ImplicationConditions(max_multiplicity=1, min_support=5)
+        state = ItemsetState()
+        assert state.observe("b1", conditions) is ItemsetStatus.PENDING
+        assert state.observe("b2", conditions) is ItemsetStatus.PENDING
+        assert state.multiplicity_exceeded
+        for _ in range(2):
+            assert state.observe("b1", conditions) is ItemsetStatus.PENDING
+        assert state.observe("b1", conditions) is ItemsetStatus.VIOLATED
+
+    def test_violation_is_sticky(self):
+        """Section 3.1.1: one dip below the confidence threshold at support
+        excludes the itemset forever, even if confidence later recovers."""
+        conditions = ImplicationConditions(
+            min_support=2, top_c=1, min_top_confidence=0.9
+        )
+        state = ItemsetState()
+        state.observe("b1", conditions)
+        assert state.observe("b2", conditions) is ItemsetStatus.VIOLATED  # 50% < 90%
+        for _ in range(100):  # confidence would recover to >99%
+            assert state.observe("b1", conditions) is ItemsetStatus.VIOLATED
+
+    def test_partner_memory_freed_on_violation(self):
+        conditions = ImplicationConditions(max_multiplicity=2, min_support=1)
+        state = ItemsetState()
+        for partner in ["b1", "b2", "b3"]:
+            state.observe(partner, conditions)
+        assert state.partners is None
+        assert state.counter_count() == 1  # only the support counter remains
+
+    def test_partner_cap_bounds_memory(self):
+        conditions = ImplicationConditions(max_multiplicity=3, min_support=100)
+        state = ItemsetState()
+        for index in range(50):
+            state.observe(f"b{index}", conditions)
+        assert state.counter_count() == 1  # dropped after exceeding the cap
+        assert state.multiplicity_exceeded
+
+    def test_weighted_observation(self):
+        conditions = ImplicationConditions(min_support=10)
+        state = ItemsetState()
+        assert state.observe("b", conditions, weight=10) is ItemsetStatus.SATISFIED
+        assert state.support == 10
+        assert state.partners == {"b": 10}
+
+    def test_top_confidence_empty(self):
+        state = ItemsetState()
+        assert state.top_confidence(ImplicationConditions()) == 0.0
+
+    def test_status_does_not_mutate(self):
+        conditions = ImplicationConditions(
+            min_support=1, top_c=1, min_top_confidence=0.9
+        )
+        state = ItemsetState()
+        state.support = 2
+        state.partners = {"b1": 1, "b2": 1}
+        # status() reports without latching the confidence violation...
+        assert state.status(conditions) is ItemsetStatus.SATISFIED
+        assert not state.violated
+        # ...while evaluate() latches it.
+        assert state.evaluate(conditions) is ItemsetStatus.VIOLATED
+        assert state.violated
+
+
+class TestItemsetTracker:
+    def test_counts(self, one_to_one):
+        tracker = ItemsetTracker(one_to_one)
+        tracker.observe("a1", "b1")
+        tracker.observe("a2", "b1")
+        tracker.observe("a2", "b2")  # violates K=1
+        tracker.observe("a3", "b9")
+        assert tracker.supported_count() == 3
+        assert tracker.satisfied_count() == 2
+        assert tracker.violated_count() == 1
+
+    def test_status_of_unknown_itemset(self, one_to_one):
+        assert ItemsetTracker(one_to_one).status("ghost") is ItemsetStatus.PENDING
+
+    def test_len_and_iteration(self, one_to_one):
+        tracker = ItemsetTracker(one_to_one)
+        tracker.observe("a1", "b1")
+        tracker.observe("a2", "b1")
+        assert len(tracker) == 2
+        assert set(tracker) == {"a1", "a2"}
+
+    def test_counter_accounting(self, one_to_one):
+        tracker = ItemsetTracker(one_to_one)
+        tracker.observe("a1", "b1")
+        assert tracker.counter_count() == 2  # support + one partner

@@ -1,0 +1,127 @@
+"""Tests for the trigger framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.triggers import BaselineTrigger, Trigger, TriggerBoard, TriggerEvent
+
+
+class Dial:
+    """A controllable statistic."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+
+class TestTrigger:
+    def test_raises_and_clears_with_hysteresis(self):
+        dial = Dial(0)
+        trigger = Trigger("t", dial, threshold=100, clear_below=50)
+        assert trigger.poll(1) is None
+        dial.value = 150
+        event = trigger.poll(2)
+        assert event is not None and event.kind == "raised"
+        # Dropping below the threshold but above clear_below keeps it raised.
+        dial.value = 80
+        assert trigger.poll(3) is None
+        assert trigger.raised
+        dial.value = 40
+        event = trigger.poll(4)
+        assert event is not None and event.kind == "cleared"
+        assert not trigger.raised
+
+    def test_no_duplicate_raise_events(self):
+        dial = Dial(200)
+        trigger = Trigger("t", dial, threshold=100)
+        assert trigger.poll(1).kind == "raised"
+        assert trigger.poll(2) is None  # still raised, no new event
+
+    def test_clear_below_validation(self):
+        with pytest.raises(ValueError):
+            Trigger("t", Dial(), threshold=10, clear_below=20)
+
+    def test_event_repr_contains_context(self):
+        event = TriggerEvent("t", "raised", 150.0, 100.0, 7)
+        assert "t" in repr(event) and "raised" in repr(event)
+
+
+class TestBaselineTrigger:
+    def test_arms_then_fires_relative_to_baseline(self):
+        dial = Dial(40)
+        trigger = BaselineTrigger("b", dial, jump=60, arm_at=100)
+        assert trigger.poll(50) is None  # before arming: inert
+        assert not trigger.ready()
+        assert trigger.poll(100) is None  # arming poll captures baseline 40
+        assert trigger.ready()
+        dial.value = 95  # 40 + 55 < 40 + 60
+        assert trigger.poll(150) is None
+        dial.value = 105
+        event = trigger.poll(200)
+        assert event is not None and event.kind == "raised"
+        assert event.threshold == pytest.approx(100.0)
+
+    def test_clear_fraction_hysteresis(self):
+        dial = Dial(0)
+        trigger = BaselineTrigger("b", dial, jump=100, arm_at=0, clear_fraction=0.5)
+        trigger.poll(0)  # baseline 0
+        dial.value = 120
+        assert trigger.poll(1).kind == "raised"
+        dial.value = 70  # above 0 + 100*0.5
+        assert trigger.poll(2) is None
+        dial.value = 30
+        assert trigger.poll(3).kind == "cleared"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaselineTrigger("b", Dial(), jump=0, arm_at=0)
+        with pytest.raises(ValueError):
+            BaselineTrigger("b", Dial(), jump=1, arm_at=0, clear_fraction=2.0)
+
+
+class TestTriggerBoard:
+    def test_polls_all_and_records_history(self):
+        hot = Dial(500)
+        cold = Dial(0)
+        board = TriggerBoard(
+            [Trigger("hot", hot, threshold=100), Trigger("cold", cold, threshold=100)]
+        )
+        events = board.poll(1)
+        assert [event.trigger for event in events] == ["hot"]
+        assert board.raised() == ["hot"]
+        assert len(board.history()) == 1
+        assert board.history("cold") == []
+
+    def test_duplicate_names_rejected(self):
+        board = TriggerBoard([Trigger("x", Dial(), threshold=1)])
+        with pytest.raises(ValueError):
+            board.add(Trigger("x", Dial(), threshold=1))
+
+    def test_end_to_end_with_estimator(self):
+        """Board wired to a real estimator statistic."""
+        from repro.core.conditions import ImplicationConditions
+        from repro.core.estimator import ImplicationCountEstimator
+
+        conditions = ImplicationConditions(max_multiplicity=2, min_support=1)
+        # Deep fringe: quiet traffic has zero violations and the threshold
+        # must not be reachable by fixation noise alone (Section 4.3.3).
+        estimator = ImplicationCountEstimator(
+            conditions, num_bitmaps=16, fringe_size=8, seed=1
+        )
+        board = TriggerBoard(
+            [Trigger("fanout", estimator.nonimplication_count, threshold=50)]
+        )
+        # Quiet traffic: no violations.
+        for item in range(200):
+            estimator.update(item, item)
+            board.poll(estimator.tuples_seen)
+        assert board.raised() == []
+        # Burst of violators.
+        for item in range(400):
+            for partner in range(3):
+                estimator.update(("bad", item), partner)
+        events = board.poll(estimator.tuples_seen)
+        assert [event.kind for event in events] == ["raised"]

@@ -1,0 +1,94 @@
+"""Tests for the offline warehouse monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import DistinctCountQuery, ImplicationQuery
+from repro.datasets.network import table1_relation
+from repro.offline import WarehouseMonitor
+
+
+@pytest.fixture
+def monitor() -> WarehouseMonitor:
+    return WarehouseMonitor(table1_relation().schema, backend="exact")
+
+
+def one_to_one_view() -> ImplicationQuery:
+    return ImplicationQuery.one_to_one(
+        ["destination"], ["source"], name="single-source destinations"
+    )
+
+
+class TestRefresh:
+    def test_counts_and_deltas(self, monitor):
+        monitor.register_view(one_to_one_view())
+        rows = table1_relation().rows
+        first = monitor.refresh(rows[:4])
+        second = monitor.refresh(rows[4:])
+        assert first.batch_rows == 4
+        assert second.total_rows == 8
+        assert second.counts["single-source destinations"] == 2.0
+        assert (
+            first.counts["single-source destinations"]
+            + second.deltas["single-source destinations"]
+            == 2.0
+        )
+
+    def test_deltas_can_be_negative(self, monitor):
+        """A batch can *retire* itemsets (sticky violations) — the report
+        shows it as a negative delta."""
+        monitor.register_view(one_to_one_view())
+        monitor.refresh([("S9", "D9", "WWW", "Morning")])
+        report = monitor.refresh([("S8", "D9", "WWW", "Noon")])
+        assert report.deltas["single-source destinations"] == -1.0
+        assert not report.grew("single-source destinations")
+
+    def test_grew_predicate(self, monitor):
+        monitor.register_view(one_to_one_view())
+        report = monitor.refresh(table1_relation().rows)
+        assert report.grew("single-source destinations", by_at_least=2.0)
+
+    def test_history_accumulates(self, monitor):
+        name = monitor.register_view(one_to_one_view())
+        for row in table1_relation().rows:
+            monitor.refresh([row])
+        history = monitor.history(name)
+        assert len(history) == 8
+        assert history[-1] == (8, 2.0)
+        assert [tuples for tuples, __ in history] == list(range(1, 9))
+
+    def test_refresh_dicts(self, monitor):
+        name = monitor.register_view(one_to_one_view())
+        monitor.refresh_dicts(table1_relation().dicts())
+        assert monitor.count(name) == 2.0
+
+
+class TestRegistration:
+    def test_views_locked_after_first_refresh(self, monitor):
+        monitor.register_view(one_to_one_view())
+        monitor.refresh(table1_relation().rows[:1])
+        with pytest.raises(RuntimeError):
+            monitor.register_view(DistinctCountQuery(["source"]))
+
+    def test_multiple_views_one_scan(self, monitor):
+        monitor.register_view(one_to_one_view())
+        monitor.register_view(DistinctCountQuery(["source"], name="sources"))
+        report = monitor.refresh(table1_relation().rows)
+        assert report.counts["sources"] == 3.0
+        assert set(monitor.views) == {"single-source destinations", "sources"}
+
+    def test_unknown_history(self, monitor):
+        with pytest.raises(KeyError):
+            monitor.history("ghost")
+
+
+class TestSketchBackend:
+    def test_sketch_backed_views(self):
+        monitor = WarehouseMonitor(
+            table1_relation().schema, backend="sketch", num_bitmaps=16, seed=1
+        )
+        name = monitor.register_view(one_to_one_view())
+        for __ in range(10):
+            monitor.refresh(table1_relation().rows)
+        assert monitor.count(name) >= 0.0
