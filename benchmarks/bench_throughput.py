@@ -5,12 +5,21 @@ constrained-environment claim is that NIPS does O(K log K) work per tuple
 worst-case and O(1) for Zone-1 hits.  Compares:
 
 * NIPS/CI scalar updates (hash + zone check per tuple),
-* NIPS/CI vectorized batch updates,
+* NIPS/CI vectorized batch updates with the chunk reductions disabled,
+* the full batch engine (pair aggregation + grouped dispatch),
+* sharded ingest-then-merge across worker processes,
 * exact hash-table counting,
 * Distinct Sampling and ILC updates.
+
+``test_throughput_json_artifact`` additionally writes the machine-readable
+``BENCH_throughput.json`` at the repo root (it uses its own wall-clock
+timing, so it also runs under ``--benchmark-disable``).
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -20,6 +29,10 @@ from repro.baselines.exact import ExactImplicationCounter
 from repro.baselines.lossy_counting import ImplicationLossyCounting
 from repro.core.estimator import ImplicationCountEstimator
 from repro.datasets.synthetic import generate_dataset_one
+from repro.engine import ShardedIngestor
+from repro.experiments import run_throughput
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +55,7 @@ def test_nips_scalar_updates(benchmark, stream):
 
 
 def test_nips_batch_updates(benchmark, stream):
+    """The full batch engine: pair aggregation + grouped dispatch."""
     lhs = stream.lhs
     rhs = stream.rhs
 
@@ -52,6 +66,54 @@ def test_nips_batch_updates(benchmark, stream):
 
     estimator = benchmark(ingest)
     assert estimator.tuples_seen == len(lhs)
+
+
+def test_nips_batch_no_reductions(benchmark, stream):
+    """The vectorized batch path with the chunk-level reductions off."""
+    lhs = stream.lhs
+    rhs = stream.rhs
+
+    def ingest():
+        estimator = ImplicationCountEstimator(stream.conditions, seed=1)
+        estimator.update_batch(lhs, rhs, aggregate=False, grouped=False)
+        return estimator
+
+    estimator = benchmark(ingest)
+    assert estimator.tuples_seen == len(lhs)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_nips_sharded_ingest(benchmark, stream, workers):
+    """Shard, ingest in worker processes, ship back, merge."""
+    lhs = stream.lhs
+    rhs = stream.rhs
+    template = ImplicationCountEstimator(stream.conditions, seed=1)
+
+    def ingest():
+        return ShardedIngestor(template, workers=workers).ingest(lhs, rhs)
+
+    estimator = benchmark(ingest)
+    assert estimator.tuples_seen == len(lhs)
+
+
+def test_throughput_json_artifact(stream):
+    """Emit BENCH_throughput.json (per-path tuples/sec) at the repo root."""
+    result, table = run_throughput(cardinality=2000, seed=0)
+    payload = result.as_dict()
+    assert set(payload) >= {
+        "scalar",
+        "batch",
+        "batch+aggregation",
+        "sharded-1",
+        "sharded-2",
+        "sharded-4",
+    }
+    assert all(tps > 0 for tps in payload.values())
+    target = REPO_ROOT / "BENCH_throughput.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print()
+    print(table)
+    print(f"[saved to {target}]")
 
 
 def test_exact_updates(benchmark, stream):

@@ -15,6 +15,8 @@ from ``REPRO_SCALE`` / ``REPRO_TRIALS`` (see DESIGN.md §5).
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from .analysis.experiments import scale_settings
@@ -99,7 +101,36 @@ def main(argv: list[str] | None = None) -> int:
         default="A",
         help="OLAP workload for figure7 (default: A)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="worker counts for the sharded throughput path (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        default=None,
+        help="also write the throughput results as JSON to PATH",
+    )
     args = parser.parse_args(argv)
+    if any(workers < 1 for workers in args.workers):
+        parser.error("--workers values must be >= 1")
+    if args.bench_json:
+        # Catch an unwritable target up front, not after a minute of timing.
+        directory = os.path.dirname(os.path.abspath(args.bench_json))
+        if not os.path.isdir(directory):
+            parser.error(f"--bench-json: no such directory: {directory}")
+
+    def _run_throughput() -> str:
+        result, table = run_throughput(sharded_workers=tuple(args.workers))
+        if args.bench_json:
+            with open(args.bench_json, "w", encoding="utf-8") as handle:
+                json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return table
 
     commands = {
         "figure4": lambda: _run_figure("figure4"),
@@ -113,7 +144,7 @@ def main(argv: list[str] | None = None) -> int:
         "ablation-heavyhitters": run_heavy_hitter_ablation,
         "ablation-hashes": run_hash_family_ablation,
         "ablation-aggregates": run_aggregate_ablation,
-        "throughput": lambda: run_throughput()[1],
+        "throughput": _run_throughput,
     }
     names = list(commands) if args.experiment == "all" else [args.experiment]
     for name in names:

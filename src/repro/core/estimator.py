@@ -135,12 +135,37 @@ class ImplicationCountEstimator:
         self.bitmaps[index].update_at(position, itemset, partner, weight)
         self.tuples_seen += weight
 
-    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
-        """Process an iterable of ``(a, b)`` pairs (scalar path)."""
-        for itemset, partner in pairs:
-            self.update(itemset, partner)
+    def update_many(
+        self,
+        pairs: Iterable[tuple[Hashable, Hashable]],
+        weights: Iterable[int] | None = None,
+    ) -> None:
+        """Process an iterable of ``(a, b)`` pairs (scalar path).
 
-    def update_batch(self, lhs: np.ndarray, rhs: np.ndarray) -> None:
+        ``weights`` optionally supplies one weight per pair (matching the
+        ``weight=`` parameter of :meth:`update` / :meth:`update_at`), so
+        run-length-encoded streams can flow through without expansion.
+        """
+        if weights is None:
+            for itemset, partner in pairs:
+                self.update(itemset, partner)
+        else:
+            for (itemset, partner), weight in zip(pairs, weights):
+                self.update(itemset, partner, weight)
+
+    #: Odd multiplier decorrelating the RHS column inside the pair-dedup
+    #: sort key (a key collision between distinct pairs merely splits a run,
+    #: costing a missed coalesce — never correctness).
+    _PAIR_KEY_ODD = np.uint64(0x9E3779B97F4A7C15)
+
+    def update_batch(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        aggregate: bool = True,
+        grouped: bool = True,
+    ) -> None:
         """Vectorized update for integer-encoded columns.
 
         ``lhs[i]`` and ``rhs[i]`` are the encoded LHS/RHS itemsets of tuple
@@ -150,6 +175,29 @@ class ImplicationCountEstimator:
         fringe start — the ones that can change state — are handed to the
         Python per-cell machinery.  Tuples that land in Zone-1 (the vast
         majority on a long stream) cost a few vector ops in aggregate.
+
+        Two further reductions apply before the Python boundary:
+
+        * ``aggregate`` — duplicate ``(lhs, rhs)`` pairs across the batch
+          are collapsed into one weighted observation each (fed through the
+          ``weight=`` parameter of :meth:`NIPSBitmap.update_at` /
+          :meth:`ItemsetState.observe`), so heavy-hitter streams cost one
+          Python call per *distinct* pair instead of per tuple.  Distinct
+          pairs are dispatched in first-occurrence order.  Coalescing
+          compresses a pair's occurrences to one point in time, so on
+          streams whose sticky status is order-*dependent* (a confidence
+          dip visible only in one interleaving; see
+          :meth:`ItemsetState.merge`) the final state may differ from the
+          scalar reference — the same caveat class as distributed merging.
+          Disable for bit-exact scalar replay.
+        * ``grouped`` — live rows are sorted by ``(bitmap, position)`` and
+          dispatched one *cell group* at a time through
+          :meth:`NIPSBitmap.update_group`, hoisting geometry checks and
+          cell lookups out of the inner loop.  The sort is stable and an
+          itemset always hashes to the same cell, so per-itemset
+          observation order is preserved exactly; groups run
+          highest-position-first per bitmap so the fringe floats to its
+          final chunk geometry before lower cells fill.
         """
         lhs = np.asarray(lhs, dtype=np.uint64)
         rhs = np.asarray(rhs, dtype=np.uint64)
@@ -158,31 +206,190 @@ class ImplicationCountEstimator:
                 f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
             )
         self.tuples_seen += len(lhs)
+        if len(lhs) == 0:
+            return
         hashed = self.hash_function.hash_array(lhs)
-        all_indexes = (hashed & np.uint64(self.num_bitmaps - 1)).astype(np.int64)
-        all_positions = least_significant_bit_array(
-            hashed >> np.uint64(self.route_bits)
-        )
-        np.minimum(all_positions, self.length - 1, out=all_positions)
+        routed = hashed >> np.uint64(self.route_bits)
+        all_indexes = hashed & np.uint64(self.num_bitmaps - 1)
+        # Fused least-significant-bit: isolate the lowest set bit, subtract
+        # one, popcount.  ``routed == 0`` wraps to all-ones -> 64, which the
+        # clamp to ``length - 1`` maps to the top cell, matching
+        # :func:`least_significant_bit_array`'s default without a dedicated
+        # zero-fix pass.  Positions live in ``uint8`` (cells number < 256)
+        # so the filter below compares byte-sized temporaries.
+        isolated = routed & (np.uint64(0) - routed)
+        isolated -= np.uint64(1)
+        all_positions = np.bitwise_count(isolated)
+        np.minimum(all_positions, np.uint8(self.length - 1), out=all_positions)
         bitmaps = self.bitmaps
-        # Process in sub-chunks: each takes a fresh snapshot of per-bitmap
-        # fringe starts to filter out Zone-1 hits.  Starts only ever
-        # advance, so the filter is conservative — a tuple whose bitmap
-        # floats mid-chunk is re-checked (and skipped) by update_at itself —
-        # and re-snapshotting lets later sub-chunks skip ever more tuples.
+        # Settle fringe geometry first: every zone-0 float of this batch is
+        # a function of the rightmost position each bitmap will see, which
+        # is known upfront.  With the floats applied, the Zone-1 filter
+        # below is accurate from the first row — no warmup chunk whose rows
+        # all pass a stale ``fringe_start == 0`` snapshot.
+        combined = all_indexes * np.uint64(self.length)
+        combined += all_positions
+        occupancy = np.bincount(
+            combined.astype(np.int64),
+            minlength=self.num_bitmaps * self.length,
+        ).reshape(self.num_bitmaps, self.length) > 0
+        max_positions = self.length - 1 - occupancy[:, ::-1].argmax(axis=1)
+        for index in np.nonzero(occupancy.any(axis=1))[0]:
+            bitmaps[index].advance_geometry(int(max_positions[index]))
+        starts = np.array(
+            [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
+        )
+        live = np.nonzero(all_positions >= starts[all_indexes])[0]
+        if live.size == 0:
+            return
+        lhs = lhs[live]
+        rhs = rhs[live]
+        all_indexes = all_indexes[live]
+        all_positions = all_positions[live]
+        weights: np.ndarray | None = None
+        if aggregate and live.size > 1:
+            lhs, rhs, all_indexes, all_positions, weights = self._aggregate_pairs(
+                lhs, rhs, all_indexes, all_positions
+            )
+        # Dispatch in sub-chunks: each re-snapshots the per-bitmap fringe
+        # starts to drop rows whose cell was fixated by a violation earlier
+        # in the batch.  Starts only ever advance, so the filter is
+        # conservative — a row whose bitmap floats mid-chunk is re-checked
+        # (and skipped) by the bitmap itself.
         for offset in range(0, len(lhs), self._BATCH_CHUNK):
             chunk = slice(offset, offset + self._BATCH_CHUNK)
             indexes = all_indexes[chunk]
             positions = all_positions[chunk]
-            starts = np.array(
-                [bitmap.fringe_start for bitmap in bitmaps], dtype=np.int64
-            )
-            live = np.nonzero(positions >= starts[indexes])[0]
-            lhs_chunk = lhs[chunk]
-            rhs_chunk = rhs[chunk]
-            for row in live:
-                bitmaps[indexes[row]].update_at(
-                    int(positions[row]), int(lhs_chunk[row]), int(rhs_chunk[row])
+            if offset:
+                starts = np.array(
+                    [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
+                )
+                alive = np.nonzero(positions >= starts[indexes])[0]
+                if alive.size == 0:
+                    continue
+                if alive.size < positions.size:
+                    indexes = indexes[alive]
+                    positions = positions[alive]
+            else:
+                alive = None
+            chunk_lhs = lhs[chunk]
+            chunk_rhs = rhs[chunk]
+            chunk_weights = None if weights is None else weights[chunk]
+            if alive is not None and alive.size < len(chunk_lhs):
+                chunk_lhs = chunk_lhs[alive]
+                chunk_rhs = chunk_rhs[alive]
+                if chunk_weights is not None:
+                    chunk_weights = chunk_weights[alive]
+            if grouped:
+                self._dispatch_groups(
+                    indexes, positions, chunk_lhs, chunk_rhs, chunk_weights
+                )
+            else:
+                lhs_list = chunk_lhs.tolist()
+                rhs_list = chunk_rhs.tolist()
+                weight_list = (
+                    None if chunk_weights is None else chunk_weights.tolist()
+                )
+                for row in range(len(lhs_list)):
+                    bitmaps[indexes[row]].update_at(
+                        int(positions[row]),
+                        lhs_list[row],
+                        rhs_list[row],
+                        1 if weight_list is None else weight_list[row],
+                    )
+
+    def _aggregate_pairs(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        indexes: np.ndarray,
+        positions: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """Collapse duplicate ``(lhs, rhs)`` pairs into weighted rows.
+
+        Rows are sorted by a 64-bit mix of both columns; runs of *actually
+        equal* pairs (the sort key is only a grouping hint — run boundaries
+        compare the real columns, so a key collision can only split a run,
+        never merge distinct pairs) coalesce into one weighted row, and
+        representatives come back in first-occurrence stream order.  The
+        already-computed ``indexes``/``positions`` ride along (identical
+        pairs hash identically, so any row of a run represents it).
+        """
+        key = lhs * self._PAIR_KEY_ODD
+        key ^= rhs * np.uint64(0xD1B54A32D192ED03)
+        order = np.argsort(key)
+        sorted_lhs = lhs[order]
+        sorted_rhs = rhs[order]
+        new_run = np.empty(len(order), dtype=bool)
+        new_run[0] = True
+        np.not_equal(sorted_lhs[1:], sorted_lhs[:-1], out=new_run[1:])
+        new_run[1:] |= sorted_rhs[1:] != sorted_rhs[:-1]
+        starts = np.flatnonzero(new_run)
+        if len(starts) == len(order):
+            return lhs, rhs, indexes, positions, None
+        counts = np.diff(np.append(starts, len(order)))
+        # Each run is one distinct pair; the smallest original index inside
+        # the run is that pair's first occurrence in the stream.
+        first_seen = np.minimum.reduceat(order, starts)
+        rank = np.argsort(first_seen)
+        first_seen = first_seen[rank]
+        return (
+            lhs[first_seen],
+            rhs[first_seen],
+            indexes[first_seen],
+            positions[first_seen],
+            counts[rank],
+        )
+
+    def _dispatch_groups(
+        self,
+        indexes: np.ndarray,
+        positions: np.ndarray,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> None:
+        """Sort live rows by ``(bitmap, position desc)`` and dispatch groups.
+
+        ``np.lexsort`` is stable, so rows of the same cell keep their stream
+        order; because an itemset always hashes to one cell, every itemset's
+        observation sequence is preserved exactly.  Positions run highest
+        first within a bitmap: the zone-0 float (whose right edge is always
+        the rightmost hashed cell) then happens before lower fringe cells
+        fill, so cell capacities reflect the chunk's final geometry instead
+        of a transient narrower window.
+        """
+        # Positions are uint8 (<= length - 1 <= 63), so ``63 - p`` is a
+        # wrap-free descending key.
+        order = np.lexsort((np.uint8(63) - positions, indexes))
+        indexes = indexes[order]
+        positions = positions[order]
+        edges = np.flatnonzero(
+            (np.diff(indexes) != 0) | (np.diff(positions) != 0)
+        ) + 1
+        bounds = np.concatenate(([0], edges, [len(indexes)])).tolist()
+        group_indexes = indexes[bounds[:-1]].tolist()
+        group_positions = positions[bounds[:-1]].tolist()
+        lhs_list = lhs[order].tolist()
+        rhs_list = rhs[order].tolist()
+        weight_list = None if weights is None else weights[order].tolist()
+        bitmaps = self.bitmaps
+        if weight_list is None:
+            for begin, end, index, position in zip(
+                bounds, bounds[1:], group_indexes, group_positions
+            ):
+                bitmaps[index].update_group(
+                    position, lhs_list[begin:end], rhs_list[begin:end]
+                )
+        else:
+            for begin, end, index, position in zip(
+                bounds, bounds[1:], group_indexes, group_positions
+            ):
+                bitmaps[index].update_group(
+                    position,
+                    lhs_list[begin:end],
+                    rhs_list[begin:end],
+                    weight_list[begin:end],
                 )
 
     # ------------------------------------------------------------------ #

@@ -32,7 +32,8 @@ caller; see :class:`repro.core.estimator.ImplicationCountEstimator`).
 
 from __future__ import annotations
 
-from typing import Hashable
+from itertools import repeat
+from typing import Hashable, Sequence
 
 from ..sketch.bitops import HASH_BITS, least_significant_bit
 from ..sketch.hashing import HashFamily, HashFunction
@@ -87,6 +88,15 @@ class NIPSBitmap:
         if capacity_slack < 1:
             raise ValueError(f"capacity_slack must be >= 1, got {capacity_slack}")
         self.conditions = conditions
+        # Hoisted threshold tuple for the grouped hot path (safe to cache:
+        # ImplicationConditions is a frozen dataclass).
+        self._thresholds = (
+            conditions.min_support,
+            conditions.partner_bound,
+            conditions.max_multiplicity,
+            conditions.min_top_confidence,
+            conditions.top_c,
+        )
         self.length = length
         self.fringe_size = fringe_size
         self.capacity_slack = capacity_slack
@@ -180,6 +190,113 @@ class NIPSBitmap:
         if status is ItemsetStatus.VIOLATED:
             # Found an itemset with NOT(a -> B): record the event.
             self._assign_one(position)
+
+    def advance_geometry(self, position: int) -> None:
+        """Eagerly apply the zone-0 float for a cell about to be hashed.
+
+        Algorithm 1 keeps the invariant "the right edge is always the
+        rightmost hashed cell" (lines 3-5).  Batch ingestion knows every
+        position a chunk will hash *before* dispatching it, so it settles
+        the fringe geometry here first: cells the float would fixate are
+        never materialized, and capacity checks see the chunk's final
+        window instead of a transiently narrower one.
+        """
+        if not 0 <= position < self.length:
+            raise IndexError(f"cell {position} outside bitmap of {self.length} cells")
+        if position > self.rightmost_hashed:
+            self.rightmost_hashed = position
+            if self.fringe_size is not None and position > self.fringe_end:
+                self._float_to(position - self.fringe_size + 1)
+
+    def update_group(
+        self,
+        position: int,
+        itemsets: Sequence[Hashable],
+        partners: Sequence[Hashable],
+        weights: Sequence[int] | None = None,
+    ) -> None:
+        """Process a run of tuples that all hash to the same ``position``.
+
+        This is the grouped-dispatch entry point of the batch ingest engine:
+        the owning estimator sorts a chunk's surviving rows by
+        ``(bitmap, position)`` and hands each group here in one call, so the
+        geometry checks, the cell lookup and the capacity computation happen
+        once per *group* instead of once per tuple.  Equivalent to calling
+        :meth:`update_at` for each ``(itemsets[i], partners[i])`` with
+        ``weights[i]`` (default 1): once the cell is decided mid-group —
+        by a violation or an overflow — the remaining tuples only count
+        toward ``tuples_seen``, exactly as per-tuple calls would.
+        """
+        if not 0 <= position < self.length:
+            raise IndexError(f"cell {position} outside bitmap of {self.length} cells")
+        total = len(itemsets) if weights is None else sum(weights)
+        self.tuples_seen += total
+        if position > self.rightmost_hashed:
+            self.rightmost_hashed = position
+            if self.fringe_size is not None and position > self.fringe_end:
+                self._float_to(position - self.fringe_size + 1)
+        if position < self.fringe_start or position in self._value_one:
+            return
+        cell = self._cells.get(position)
+        if cell is None:
+            cell = self._cells[position] = {}
+        capacity = self.cell_capacity(position)
+        tau, bound, max_mult, theta, top_c = self._thresholds
+        lookup = cell.get
+        weight_iter = repeat(1) if weights is None else weights
+        for itemset, partner, weight in zip(itemsets, partners, weight_iter):
+            state = lookup(itemset)
+            if state is None:
+                if capacity is not None and len(cell) >= capacity:
+                    self._assign_one(position)
+                    return
+                state = cell[itemset] = ItemsetState()
+            # Inlined ItemsetState.observe + evaluate + top_confidence: the
+            # grouped path pays one Python frame per tuple instead of four.
+            # Any semantic change here MUST be mirrored in tracker.py (and
+            # vice versa) — the equivalence tests enforce this.
+            state.support += weight
+            if state.violated:
+                self._assign_one(position)
+                return
+            partner_counts = state.partners
+            if partner_counts is not None:
+                count = partner_counts.get(partner)
+                if count is not None:
+                    partner_counts[partner] = count + weight
+                elif bound is not None and len(partner_counts) >= bound:
+                    state.multiplicity_exceeded = True
+                    state.partners = partner_counts = None
+                else:
+                    partner_counts[partner] = weight
+            if state.support < tau:
+                continue
+            if state.multiplicity_exceeded or (
+                max_mult is not None
+                and partner_counts is not None
+                and len(partner_counts) > max_mult
+            ):
+                violated = True
+            elif theta > 0.0:
+                if not partner_counts:
+                    confidence = 0.0
+                else:
+                    values = partner_counts.values()
+                    if len(partner_counts) <= top_c:
+                        mass = sum(values)
+                    elif top_c == 1:
+                        mass = max(values)
+                    else:
+                        mass = sum(sorted(values, reverse=True)[:top_c])
+                    confidence = mass / state.support
+                violated = confidence < theta
+            else:
+                violated = False
+            if violated:
+                state.violated = True
+                state.partners = None
+                self._assign_one(position)
+                return
 
     def _assign_one(self, position: int) -> None:
         """Set a fringe cell's value to 1, free its memory, maybe float."""

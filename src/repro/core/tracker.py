@@ -58,8 +58,9 @@ class ItemsetState:
         streams).
         """
         self.support += weight
-        if not self.violated:
-            self._observe_partner(partner, conditions, weight)
+        if self.violated:
+            return ItemsetStatus.VIOLATED
+        self._observe_partner(partner, conditions, weight)
         return self.evaluate(conditions)
 
     def _observe_partner(
@@ -88,10 +89,18 @@ class ItemsetState:
         """
         if self.support == 0 or not self.partners:
             return 0.0
-        if len(self.partners) <= conditions.top_c:
-            mass = sum(self.partners.values())
+        values = self.partners.values()
+        top_c = conditions.top_c
+        if len(values) <= top_c:
+            mass = sum(values)
+        elif top_c == 1:
+            mass = max(values)
+        elif len(values) <= 64:
+            # Partner dicts are bounded by K; a C-speed sort beats a heap
+            # at these sizes.
+            mass = sum(sorted(values, reverse=True)[:top_c])
         else:
-            mass = sum(heapq.nlargest(conditions.top_c, self.partners.values()))
+            mass = sum(heapq.nlargest(top_c, values))
         return mass / self.support
 
     def evaluate(self, conditions: ImplicationConditions) -> ItemsetStatus:

@@ -42,6 +42,21 @@ class Coordinator:
         for node in nodes:
             self.receive(node.name, node.snapshot())
 
+    def ingest_sharded(self, lhs, rhs, workers: int = 1) -> None:
+        """Ingest a local stream through the sharded engine.
+
+        Splits the columns across ``workers`` processes with
+        :class:`repro.engine.ShardedIngestor` (each shard a sibling of this
+        coordinator's template) and registers every shard snapshot via
+        :meth:`receive` — an in-machine shard farm and a fleet of remote
+        nodes are interchangeable aggregation sources.
+        """
+        from ..engine import ShardedIngestor
+
+        ingestor = ShardedIngestor(self.template, workers=workers)
+        for shard_name, payload in ingestor.ingest_payloads(lhs, rhs):
+            self.receive(shard_name, payload)
+
     def merged_estimator(self) -> ImplicationCountEstimator:
         """Rebuild the union estimator from the latest snapshots."""
         merged = self.template.spawn_sibling()

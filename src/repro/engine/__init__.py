@@ -1,0 +1,11 @@
+"""Batch ingest engine: parallel shard-and-merge ingestion on one machine.
+
+The single-core fast path lives in
+:meth:`repro.core.estimator.ImplicationCountEstimator.update_batch`
+(pair aggregation + grouped dispatch); this package scales it across
+cores by reusing the distributed split/ship/merge machinery locally.
+"""
+
+from .sharded import ShardedIngestor, available_workers
+
+__all__ = ["ShardedIngestor", "available_workers"]

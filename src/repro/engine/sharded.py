@@ -1,0 +1,171 @@
+"""Sharded multi-core ingestion: split, ingest, ship, merge.
+
+The distributed machinery of Section 1 (per-node sketches folded by an
+aggregator) works just as well *inside* one machine: the stream is split
+into ``n`` contiguous shards, each shard is ingested by a worker process
+into a fresh sibling estimator (:meth:`ImplicationCountEstimator
+.spawn_sibling` — same geometry, same placement hash), the workers ship
+their state back through the versioned wire format
+(:mod:`repro.core.serialize`), and the parent folds the payloads with
+:meth:`ImplicationCountEstimator.merge`.
+
+Semantics caveat (inherited from :meth:`ItemsetState.merge`): the sticky
+violation semantics are order-*dependent* — a confidence dip that is only
+visible in one particular interleaving of two shards cannot be
+reconstructed from their final states, so a sharded run may classify such
+an itemset differently from a single-pass run over the same tuples.
+Support counts, partner counts and multiplicity violations merge exactly;
+only interleaving-sensitive confidence dips are affected.  This is the same
+approximation every distributed deployment of the paper makes (Section 1's
+sensor-network aggregation), and :mod:`tests.test_batch_engine` pins both
+sides of it: bit-for-bit equality on order-robust streams, plus a targeted
+test demonstrating the caveat.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..core.estimator import ImplicationCountEstimator
+
+__all__ = ["ShardedIngestor", "available_workers"]
+
+
+def available_workers() -> int:
+    """Worker count the local machine can usefully run (>= 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _ingest_shard(
+    args: tuple[bytes, np.ndarray, np.ndarray, bool, bool],
+) -> bytes:
+    """Worker body: rebuild the sibling template, ingest, serialize back.
+
+    Module-level so it works under both the ``fork`` and ``spawn`` start
+    methods.  The estimator crosses the process boundary in the versioned
+    wire format only — never pickled.
+    """
+    template_payload, lhs, rhs, aggregate, grouped = args
+    estimator = ImplicationCountEstimator.from_bytes(template_payload)
+    estimator.update_batch(lhs, rhs, aggregate=aggregate, grouped=grouped)
+    return estimator.to_bytes()
+
+
+class ShardedIngestor:
+    """Parallel ingest-then-merge over contiguous stream shards.
+
+    Parameters
+    ----------
+    template:
+        Estimator defining geometry, conditions and the placement hash.
+        The template itself is never mutated — every shard gets a fresh
+        :meth:`~ImplicationCountEstimator.spawn_sibling`.
+    workers:
+        Number of shards / worker processes.  ``1`` ingests serially in
+        the calling process (no subprocess overhead), which is also the
+        fallback whenever process pools are unavailable.
+
+    Examples
+    --------
+    >>> ingestor = ShardedIngestor(template, workers=4)
+    >>> merged = ingestor.ingest(lhs, rhs)
+    >>> merged.implication_count()  # doctest: +SKIP
+    """
+
+    def __init__(
+        self, template: ImplicationCountEstimator, workers: int = 1
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.template = template
+        self.workers = workers
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest_payloads(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        aggregate: bool = True,
+        grouped: bool = True,
+    ) -> list[tuple[str, bytes]]:
+        """Ingest shards and return ``(shard_name, payload)`` snapshots.
+
+        This is the coordinator-friendly form: each payload is exactly what
+        a :class:`repro.distributed.coordinator.Coordinator` expects from
+        :meth:`receive`, so an in-process shard farm and a fleet of remote
+        nodes are interchangeable aggregation sources.
+        """
+        lhs = np.asarray(lhs, dtype=np.uint64)
+        rhs = np.asarray(rhs, dtype=np.uint64)
+        if lhs.shape != rhs.shape:
+            raise ValueError(
+                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
+            )
+        shards = self._split(lhs, rhs)
+        template_payload = self.template.spawn_sibling().to_bytes()
+        jobs = [
+            (template_payload, shard_lhs, shard_rhs, aggregate, grouped)
+            for shard_lhs, shard_rhs in shards
+        ]
+        if len(jobs) == 1:
+            payloads = [_ingest_shard(jobs[0])]
+        else:
+            payloads = self._run_pool(jobs)
+        return [
+            (f"shard-{index}", payload)
+            for index, payload in enumerate(payloads)
+        ]
+
+    def ingest(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        aggregate: bool = True,
+        grouped: bool = True,
+    ) -> ImplicationCountEstimator:
+        """Ingest the stream across all shards and return the merged estimator."""
+        merged = self.template.spawn_sibling()
+        for _, payload in self.ingest_payloads(
+            lhs, rhs, aggregate=aggregate, grouped=grouped
+        ):
+            merged.merge(ImplicationCountEstimator.from_bytes(payload))
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _split(
+        self, lhs: np.ndarray, rhs: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Contiguous, near-equal shards (at most ``self.workers`` of them)."""
+        shard_count = max(min(self.workers, len(lhs)), 1)
+        return list(
+            zip(
+                np.array_split(lhs, shard_count),
+                np.array_split(rhs, shard_count),
+            )
+        )
+
+    def _run_pool(self, jobs: Sequence[tuple]) -> list[bytes]:
+        """Run shard jobs in a process pool, serially as a last resort."""
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = multiprocessing.get_context()
+        try:
+            with context.Pool(processes=len(jobs)) as pool:
+                return pool.map(_ingest_shard, jobs)
+        except (OSError, RuntimeError):  # pragma: no cover - no subprocesses
+            # Constrained environments (no /dev/shm, sandboxed fork, …):
+            # keep the same split/ship/merge pipeline, just serially.
+            return [_ingest_shard(job) for job in jobs]

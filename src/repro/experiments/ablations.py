@@ -333,42 +333,113 @@ def run_hash_family_ablation(
 
 @dataclass(frozen=True)
 class ThroughputResult:
+    """Tuples/second of every ingest path (see :func:`run_throughput`)."""
+
     scalar_tps: float
     batch_tps: float
+    batch_aggregated_tps: float
+    sharded_tps: tuple[tuple[int, float], ...]
     exact_tps: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat machine-readable form (the BENCH_throughput.json schema)."""
+        payload = {
+            "scalar": self.scalar_tps,
+            "batch": self.batch_tps,
+            "batch+aggregation": self.batch_aggregated_tps,
+            "exact": self.exact_tps,
+        }
+        for workers, tps in self.sharded_tps:
+            payload[f"sharded-{workers}"] = tps
+        return payload
 
 
 def run_throughput(
-    cardinality: int = 2000, seed: int = 0
+    cardinality: int = 2000,
+    seed: int = 0,
+    sharded_workers: tuple[int, ...] = (1, 2, 4),
+    repeats: int = 3,
 ) -> tuple[ThroughputResult, str]:
-    """Tuples/second of the scalar path, the batch path, and exact counting."""
+    """Tuples/second of every ingest path on the Dataset-1 workload.
+
+    Paths: the scalar per-tuple loop, the vectorized batch path with the
+    chunk-level reductions disabled (``aggregate=False, grouped=False`` —
+    the seed's behaviour), the full batch engine (pair aggregation +
+    grouped dispatch), the sharded ingest-then-merge engine at each worker
+    count in ``sharded_workers``, and the exact hash-table counter.  Every
+    path reports its best of ``repeats`` runs (each run on a fresh
+    estimator), which filters scheduler noise and one-time numpy warmup.
+    """
+    from ..engine import ShardedIngestor
+
     data = generate_dataset_one(cardinality, cardinality // 2, c=2, seed=seed)
+    tuples = len(data.lhs)
 
-    scalar = ImplicationCountEstimator(data.conditions, seed=seed)
+    def best_tps(ingest) -> float:
+        elapsed = min(
+            _timed(ingest) for _ in range(max(repeats, 1))
+        )
+        return tuples / elapsed
+
+    def _timed(ingest) -> float:
+        started = time.perf_counter()
+        ingest()
+        return time.perf_counter() - started
+
     pairs = list(zip(data.lhs.tolist(), data.rhs.tolist()))
-    started = time.perf_counter()
-    for a, b in pairs:
-        scalar.update(a, b)
-    scalar_tps = len(pairs) / (time.perf_counter() - started)
 
-    batch = ImplicationCountEstimator(data.conditions, seed=seed)
-    started = time.perf_counter()
-    batch.update_batch(data.lhs, data.rhs)
-    batch_tps = len(data.lhs) / (time.perf_counter() - started)
+    def scalar_ingest():
+        estimator = ImplicationCountEstimator(data.conditions, seed=seed)
+        for a, b in pairs:
+            estimator.update(a, b)
 
-    exact = ExactImplicationCounter(data.conditions)
-    started = time.perf_counter()
-    exact.update_batch(data.lhs, data.rhs)
-    exact_tps = len(data.lhs) / (time.perf_counter() - started)
+    scalar_tps = best_tps(scalar_ingest)
 
-    result = ThroughputResult(scalar_tps, batch_tps, exact_tps)
+    batch_tps = best_tps(
+        lambda: ImplicationCountEstimator(data.conditions, seed=seed).update_batch(
+            data.lhs, data.rhs, aggregate=False, grouped=False
+        )
+    )
+    batch_aggregated_tps = best_tps(
+        lambda: ImplicationCountEstimator(data.conditions, seed=seed).update_batch(
+            data.lhs, data.rhs
+        )
+    )
+
+    template = ImplicationCountEstimator(data.conditions, seed=seed)
+    sharded_tps = []
+    for workers in sharded_workers:
+        ingestor = ShardedIngestor(template, workers=workers)
+        sharded_tps.append(
+            (workers, best_tps(lambda: ingestor.ingest(data.lhs, data.rhs)))
+        )
+
+    exact_tps = best_tps(
+        lambda: ExactImplicationCounter(data.conditions).update_batch(
+            data.lhs, data.rhs
+        )
+    )
+
+    result = ThroughputResult(
+        scalar_tps,
+        batch_tps,
+        batch_aggregated_tps,
+        tuple(sharded_tps),
+        exact_tps,
+    )
+    rows = [
+        ("NIPS/CI scalar", f"{scalar_tps:,.0f}"),
+        ("NIPS/CI batch (no reductions)", f"{batch_tps:,.0f}"),
+        ("NIPS/CI batch + aggregation", f"{batch_aggregated_tps:,.0f}"),
+    ]
+    rows.extend(
+        (f"NIPS/CI sharded x{workers}", f"{tps:,.0f}")
+        for workers, tps in sharded_tps
+    )
+    rows.append(("exact hash tables", f"{exact_tps:,.0f}"))
     table = format_table(
         ("path", "tuples/s"),
-        [
-            ("NIPS/CI scalar", f"{scalar_tps:,.0f}"),
-            ("NIPS/CI batch", f"{batch_tps:,.0f}"),
-            ("exact hash tables", f"{exact_tps:,.0f}"),
-        ],
+        rows,
         title=f"Ingest throughput on {len(data.lhs):,} tuples",
     )
     return result, table

@@ -77,8 +77,14 @@ def encode_item(item: Hashable) -> int:
 
     Supported item kinds: ``int``, ``str``, ``bytes``, ``float``, ``bool``,
     ``None`` and (recursively) tuples of these — tuples are what itemsets
-    project to (Section 3.1).
+    project to (Section 3.1).  Numpy scalars (``np.integer``, ``np.floating``,
+    ``np.bool_``, ``np.str_``, ``np.bytes_``) are normalized first, so a
+    value read out of an array encodes identically to its Python
+    counterpart.
     """
+    if isinstance(item, np.generic):
+        # np.uint64(3) -> 3, np.float32(0.5) -> 0.5, np.True_ -> True, …
+        item = item.item()
     if item is None:
         return _TAG_NONE
     if item is True:
@@ -98,8 +104,6 @@ def encode_item(item: Hashable) -> int:
         for element in item:
             acc = ((acc ^ encode_item(element)) * _FNV_PRIME) & MASK64
         return acc
-    if isinstance(item, np.integer):
-        return int(item) & MASK64
     raise TypeError(f"cannot encode item of type {type(item).__name__}")
 
 
@@ -187,6 +191,38 @@ class MultiplyShiftHash(HashFunction):
         return f"MultiplyShiftHash(seed={self.seed})"
 
 
+_M61 = np.uint64(MERSENNE_61)
+_MASK29 = np.uint64((1 << 29) - 1)
+_MASK32 = np.uint64((1 << 32) - 1)
+
+
+def _mod_m61(values: np.ndarray) -> np.ndarray:
+    """Exact ``values % (2**61 - 1)`` over ``uint64`` arrays.
+
+    Folds the high bits down (``2**61 ≡ 1 mod p``) and applies one
+    conditional subtract; exact for the full ``uint64`` range.
+    """
+    folded = (values & _M61) + (values >> np.uint64(61))
+    return np.where(folded >= _M61, folded - _M61, folded)
+
+
+def _mulmod_m61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(a * b) % (2**61 - 1)`` for arrays of residues ``< 2**61 - 1``.
+
+    numpy has no 128-bit integers, so the product is assembled from 32-bit
+    limbs: ``a*b = ah*bh*2**64 + (ah*bl + al*bh)*2**32 + al*bl`` with every
+    partial product fitting in ``uint64``, then each term is reduced with
+    the Mersenne identities ``2**64 ≡ 8`` and ``2**61 ≡ 1 (mod p)``.
+    """
+    ah, al = a >> np.uint64(32), a & _MASK32
+    bh, bl = b >> np.uint64(32), b & _MASK32
+    high = _mod_m61((ah * bh) << np.uint64(3))
+    mid = _mod_m61(ah * bl + al * bh)
+    mid = _mod_m61((mid >> np.uint64(29)) + ((mid & _MASK29) << np.uint64(32)))
+    low = _mod_m61(al * bl)
+    return _mod_m61(high + mid + low)
+
+
 class PolynomialHash(HashFunction):
     """k-wise independent polynomial hash over GF(2**61 - 1).
 
@@ -214,6 +250,19 @@ class PolynomialHash(HashFunction):
         for coefficient in reversed(self.coefficients):
             acc = (acc * x + coefficient) % MERSENNE_61
         return self._finalizer.mix(acc)
+
+    def hash_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized Horner evaluation over GF(2**61 - 1).
+
+        Bit-for-bit identical to :meth:`mix` applied element-wise; the
+        modular products run on 32-bit limbs (see :func:`_mulmod_m61`).
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        x = _mod_m61(values)
+        acc = np.zeros_like(values)
+        for coefficient in reversed(self.coefficients):
+            acc = _mod_m61(_mulmod_m61(acc, x) + np.uint64(coefficient))
+        return self._finalizer.hash_array(acc)
 
     def __repr__(self) -> str:
         return f"PolynomialHash(seed={self.seed}, degree={self.degree})"

@@ -1,0 +1,238 @@
+"""State-equivalence tests for the batch ingest engine.
+
+The engine's three layers — chunk-level pair aggregation, grouped dispatch
+(:meth:`NIPSBitmap.update_group`), and sharded ingest-then-merge
+(:class:`repro.engine.ShardedIngestor`) — are performance transformations
+of the scalar per-tuple loop.  These tests pin them to the scalar
+reference *bit for bit*: same fringe geometry, same per-cell
+:class:`ItemsetState` counters, same readouts, across datasets, hash
+families and stream permutations.
+
+The one documented exception is the sticky-semantics order dependence
+inherited from :meth:`ItemsetState.merge` (a confidence dip visible only
+in one interleaving), which gets its own targeted tests at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.tracker import ItemsetState
+from repro.datasets.network import NetworkTrafficGenerator, ScenarioEvent
+from repro.datasets.synthetic import generate_dataset_one
+from repro.distributed.coordinator import Coordinator
+from repro.engine import ShardedIngestor
+from repro.sketch.hashing import HashFamily, encode_items
+
+FAMILIES = ["splitmix", "tabulation", "polynomial"]
+
+
+def canonical_state(estimator: ImplicationCountEstimator):
+    """Full observable state of an estimator, in comparable form."""
+    bitmaps = []
+    for bitmap in estimator.bitmaps:
+        cells = {}
+        for position, cell in bitmap._cells.items():
+            cells[position] = {
+                itemset: (
+                    state.support,
+                    None if state.partners is None else dict(state.partners),
+                    state.multiplicity_exceeded,
+                    state.violated,
+                )
+                for itemset, state in cell.items()
+            }
+        bitmaps.append(
+            (
+                bitmap.fringe_start,
+                bitmap.rightmost_hashed,
+                frozenset(bitmap._value_one),
+                cells,
+            )
+        )
+    return (
+        bitmaps,
+        estimator.implication_count(),
+        estimator.nonimplication_count(),
+        estimator.supported_distinct_count(),
+    )
+
+
+def dataset_one_stream():
+    data = generate_dataset_one(300, 150, c=2, seed=11)
+    return data.conditions, data.lhs, data.rhs
+
+
+def network_stream():
+    """A Table-1-style router feed: does the destination imply the source?"""
+    generator = NetworkTrafficGenerator(
+        num_sources=150,
+        num_destinations=60,
+        events=[
+            ScenarioEvent(
+                "ddos", start=800, duration=600, intensity=0.7,
+                target="D-hot", spread=4, pool=200,
+            )
+        ],
+        seed=3,
+    )
+    rows = list(generator.tuples(4000))
+    lhs = encode_items(row[1] for row in rows)  # destination
+    rhs = encode_items(row[0] for row in rows)  # source
+    conditions = ImplicationConditions(
+        max_multiplicity=6, min_support=5, top_c=2, min_top_confidence=0.5
+    )
+    return conditions, lhs, rhs
+
+
+STREAMS = {"dataset-one": dataset_one_stream, "network": network_stream}
+
+
+def make_estimator(conditions, family: str) -> ImplicationCountEstimator:
+    return ImplicationCountEstimator(
+        conditions,
+        num_bitmaps=32,
+        seed=9,
+        hash_function=HashFamily(family, seed=9).one(),
+    )
+
+
+def scalar_reference(conditions, family, lhs, rhs) -> ImplicationCountEstimator:
+    estimator = make_estimator(conditions, family)
+    for a, b in zip(lhs.tolist(), rhs.tolist()):
+        estimator.update(a, b)
+    return estimator
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("stream_name", sorted(STREAMS))
+class TestBatchEquivalence:
+    """Aggregation and grouped dispatch vs the scalar loop, bit for bit."""
+
+    @pytest.mark.parametrize("permutation_seed", [None, 0, 1])
+    def test_batch_paths_match_scalar(
+        self, stream_name, family, permutation_seed
+    ):
+        conditions, lhs, rhs = STREAMS[stream_name]()
+        if permutation_seed is not None:
+            order = np.random.default_rng(permutation_seed).permutation(len(lhs))
+            lhs, rhs = lhs[order], rhs[order]
+        reference = canonical_state(
+            scalar_reference(conditions, family, lhs, rhs)
+        )
+        for kwargs in (
+            {"aggregate": True, "grouped": False},
+            {"aggregate": False, "grouped": True},
+            {"aggregate": True, "grouped": True},
+        ):
+            estimator = make_estimator(conditions, family)
+            estimator.update_batch(lhs, rhs, **kwargs)
+            assert canonical_state(estimator) == reference, kwargs
+
+    def test_sharded_ingest_matches_scalar(self, stream_name, family):
+        conditions, lhs, rhs = STREAMS[stream_name]()
+        reference = canonical_state(
+            scalar_reference(conditions, family, lhs, rhs)
+        )
+        template = make_estimator(conditions, family)
+        for workers in (1, 2):
+            merged = ShardedIngestor(template, workers=workers).ingest(lhs, rhs)
+            assert canonical_state(merged) == reference, workers
+
+
+class TestShardedEngine:
+    def test_coordinator_wiring(self):
+        """ingest_sharded registers one snapshot per shard, merge matches."""
+        conditions, lhs, rhs = dataset_one_stream()
+        template = make_estimator(conditions, "splitmix")
+        coordinator = Coordinator(template)
+        coordinator.ingest_sharded(lhs, rhs, workers=2)
+        assert coordinator.node_count == 2
+        direct = make_estimator(conditions, "splitmix")
+        direct.update_batch(lhs, rhs)
+        assert canonical_state(coordinator.merged_estimator()) == canonical_state(
+            direct
+        )
+
+    def test_payload_names_are_stable(self):
+        conditions, lhs, rhs = dataset_one_stream()
+        template = make_estimator(conditions, "splitmix")
+        payloads = ShardedIngestor(template, workers=2).ingest_payloads(lhs, rhs)
+        assert [name for name, _ in payloads] == ["shard-0", "shard-1"]
+
+    def test_worker_validation(self):
+        conditions, _, _ = dataset_one_stream()
+        template = make_estimator(conditions, "splitmix")
+        with pytest.raises(ValueError):
+            ShardedIngestor(template, workers=0)
+
+    def test_more_workers_than_tuples(self):
+        conditions, lhs, rhs = dataset_one_stream()
+        template = make_estimator(conditions, "splitmix")
+        merged = ShardedIngestor(template, workers=4).ingest(lhs[:3], rhs[:3])
+        assert merged.tuples_seen == 3
+
+
+class TestMergeOrderDependence:
+    """The documented caveat: sticky confidence dips are interleaving-bound."""
+
+    CONDITIONS = ImplicationConditions(
+        min_support=2, top_c=1, min_top_confidence=0.6
+    )
+
+    def test_state_merge_keeps_sub_stream_violation(self):
+        """A dip inside one sub-stream latches, though the interleaved
+        single-pass order never dips."""
+        interleaved = ItemsetState()
+        for partner in ("b1", "b1", "b2", "b1"):
+            interleaved.observe(partner, self.CONDITIONS)
+        assert not interleaved.violated  # confidence never fell below 0.6
+
+        left = ItemsetState()
+        for partner in ("b1", "b1"):
+            left.observe(partner, self.CONDITIONS)
+        right = ItemsetState()
+        for partner in ("b2", "b1"):
+            right.observe(partner, self.CONDITIONS)
+        assert right.violated  # 1/2 < 0.6 at support 2, inside that shard
+
+        left.merge(right, self.CONDITIONS)
+        assert left.violated  # sticky across the merge
+
+    def test_sharded_ingest_can_miss_interleaving_dip(self):
+        """The mirror image: the single-pass order dips mid-stream, but each
+        shard stays below minimum support (never evaluated) and every
+        pairwise-merge prefix stays above theta, so the merged sketch keeps
+        the cell the single pass wiped."""
+        conditions = ImplicationConditions(
+            min_support=3, top_c=1, min_top_confidence=0.65
+        )
+        # Stream for one itemset: partner counts dip to 3/5 = 0.6 < 0.65 at
+        # support 5, then recover to 4/6.  Shards of two tuples each hold
+        # support 2 < tau; the pairwise fold evaluates at 3/4 = 0.75 and
+        # 4/6 = 0.667, both above theta.
+        itemset = np.full(6, 7, dtype=np.uint64)
+        partners = np.array([1, 1, 1, 2, 2, 1], dtype=np.uint64)
+
+        def find_cell(estimator):
+            for bitmap in estimator.bitmaps:
+                for cell in bitmap._cells.values():
+                    if 7 in cell:
+                        return cell[7]
+            return None
+
+        single = ImplicationCountEstimator(conditions, num_bitmaps=4, seed=0)
+        single.update_batch(itemset, partners, aggregate=False, grouped=False)
+        # The dip latched a violation; _assign_one wiped the cell.
+        assert find_cell(single) is None
+
+        template = ImplicationCountEstimator(conditions, num_bitmaps=4, seed=0)
+        merged = ShardedIngestor(template, workers=3).ingest(itemset, partners)
+        survivor = find_cell(merged)
+        assert survivor is not None
+        assert survivor.support == 6
+        assert not survivor.violated
+        assert canonical_state(merged) != canonical_state(single)

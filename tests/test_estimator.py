@@ -35,6 +35,23 @@ class TestConstruction:
         estimator = ImplicationCountEstimator(one_to_one, num_bitmaps=64)
         assert estimator.expected_relative_error() == pytest.approx(0.0975)
 
+    def test_update_many_weights_match_expanded_stream(self, one_to_one):
+        """A weighted pair must act exactly like that many repeated tuples."""
+        pairs = random_pairs(150, 2, seed=6)
+        weights = [1 + (i % 4) for i in range(len(pairs))]
+        weighted = ImplicationCountEstimator(one_to_one, num_bitmaps=16, seed=9)
+        expanded = ImplicationCountEstimator(one_to_one, num_bitmaps=16, seed=9)
+        weighted.update_many(pairs, weights)
+        expanded.update_many(
+            pair for pair, weight in zip(pairs, weights) for _ in range(weight)
+        )
+        assert weighted.tuples_seen == expanded.tuples_seen == sum(weights)
+        for left, right in zip(weighted.bitmaps, expanded.bitmaps):
+            assert left.fringe_start == right.fringe_start
+            assert left._value_one == right._value_one
+        assert weighted.implication_count() == expanded.implication_count()
+        assert weighted.nonimplication_count() == expanded.nonimplication_count()
+
 
 class TestBatchScalarEquivalence:
     """The vectorized path must be bit-identical to the scalar path."""

@@ -59,6 +59,30 @@ class TestEncodeItem:
     def test_numpy_integers_accepted(self):
         assert encode_item(np.int64(42)) == 42
 
+    @pytest.mark.parametrize(
+        "scalar, python_value",
+        [
+            (np.int32(-7), -7),
+            (np.uint64(2**63 + 11), 2**63 + 11),
+            (np.float64(2.5), 2.5),
+            (np.float32(0.0), 0.0),
+            (np.bool_(True), True),
+            (np.bool_(False), False),
+            (np.str_("ab"), "ab"),
+            (np.bytes_(b"ab"), b"ab"),
+        ],
+    )
+    def test_numpy_scalars_match_python_counterparts(self, scalar, python_value):
+        """Regression: numpy scalars used to take the ``int(...)`` branch
+        only for exact ``int`` instances, so ``np.bool_`` / ``np.floating``
+        hit the unsupported-type error and ``np.int32`` bypassed the
+        type-tag normalization.  They must encode exactly like the Python
+        value they wrap."""
+        assert encode_item(scalar) == encode_item(python_value)
+
+    def test_numpy_scalars_inside_tuples(self):
+        assert encode_item((np.int64(1), np.str_("x"))) == encode_item((1, "x"))
+
     def test_string_and_bytes_differ_from_each_other(self):
         # Same byte content, different type path (str encodes via utf-8).
         assert encode_item("ab") == encode_item(b"ab")  # utf-8 identical
