@@ -61,7 +61,7 @@ def test_nips_batch_updates(benchmark, stream):
 
     def ingest():
         estimator = ImplicationCountEstimator(stream.conditions, seed=1)
-        estimator.update_batch(lhs, rhs)
+        estimator.update_batch(lhs, rhs, aggregate=True, grouped=True)
         return estimator
 
     estimator = benchmark(ingest)

@@ -116,10 +116,17 @@ class ImplicationCountEstimator:
         ]
         self.tuples_seen = 0
 
-    #: Sub-chunk size for :meth:`update_batch`; small enough that fringe
-    #: floats propagate into the Zone-1 filter quickly, large enough that
-    #: the vector ops amortize.
+    #: Sub-chunk size for the dispatch stage of :meth:`update_batch`;
+    #: small enough that fringe floats propagate into the Zone-1 filter
+    #: quickly, large enough that the vector ops amortize.
     _BATCH_CHUNK = 8192
+
+    #: First stream-block size of :meth:`update_batch` (blocks grow 64x
+    #: from here).  Early in a stream the fringe geometry races rightward,
+    #: so small blocks re-arm the Zone-1 filter — and the pair dedup —
+    #: every few hundred rows; once geometry settles, blocks are large and
+    #: each costs one vectorized filter pass.
+    _BATCH_BLOCK_MIN = 512
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -150,7 +157,7 @@ class ImplicationCountEstimator:
             for itemset, partner in pairs:
                 self.update(itemset, partner)
         else:
-            for (itemset, partner), weight in zip(pairs, weights):
+            for (itemset, partner), weight in zip(pairs, weights, strict=True):
                 self.update(itemset, partner, weight)
 
     #: Odd multiplier decorrelating the RHS column inside the pair-dedup
@@ -163,7 +170,7 @@ class ImplicationCountEstimator:
         lhs: np.ndarray,
         rhs: np.ndarray,
         *,
-        aggregate: bool = True,
+        aggregate: bool = False,
         grouped: bool = True,
     ) -> None:
         """Vectorized update for integer-encoded columns.
@@ -176,28 +183,42 @@ class ImplicationCountEstimator:
         Python per-cell machinery.  Tuples that land in Zone-1 (the vast
         majority on a long stream) cost a few vector ops in aggregate.
 
+        Fringe geometry is never touched ahead of time: zone-0 floats fire
+        at their exact stream positions, inside :meth:`NIPSBitmap.update_at`
+        / :meth:`NIPSBitmap.update_group`, so a cell that overflows under a
+        transient narrower window in the scalar order overflows here too.
+
         Two further reductions apply before the Python boundary:
 
-        * ``aggregate`` — duplicate ``(lhs, rhs)`` pairs across the batch
-          are collapsed into one weighted observation each (fed through the
-          ``weight=`` parameter of :meth:`NIPSBitmap.update_at` /
-          :meth:`ItemsetState.observe`), so heavy-hitter streams cost one
-          Python call per *distinct* pair instead of per tuple.  Distinct
-          pairs are dispatched in first-occurrence order.  Coalescing
-          compresses a pair's occurrences to one point in time, so on
-          streams whose sticky status is order-*dependent* (a confidence
-          dip visible only in one interleaving; see
-          :meth:`ItemsetState.merge`) the final state may differ from the
-          scalar reference — the same caveat class as distributed merging.
-          Disable for bit-exact scalar replay.
-        * ``grouped`` — live rows are sorted by ``(bitmap, position)`` and
-          dispatched one *cell group* at a time through
+        * ``aggregate`` (default off) — duplicate ``(lhs, rhs)`` pairs
+          across the batch are collapsed into one weighted observation each
+          (fed through the ``weight=`` parameter of
+          :meth:`NIPSBitmap.update_at` / :meth:`ItemsetState.observe`), so
+          heavy-hitter streams cost one Python call per *distinct* pair
+          instead of per tuple.  Distinct pairs are dispatched in
+          first-occurrence order.  Coalescing compresses a pair's
+          occurrences to one point in time, so on streams whose sticky
+          status is order-*dependent* (a confidence dip visible only in one
+          interleaving; see :meth:`ItemsetState.merge`) the final state may
+          differ from the scalar reference — the same caveat class as
+          distributed merging, which is why the perf-oriented engine paths
+          (:class:`repro.engine.ShardedIngestor`, the benchmarks) opt in
+          explicitly rather than this API defaulting to it.
+        * ``grouped`` — live rows are cut into segments at the zone-0
+          float triggers (rows hashing a new rightmost cell for their
+          bitmap), then grouped by ``(bitmap, position)`` within each
+          segment and dispatched one *cell group* at a time through
           :meth:`NIPSBitmap.update_group`, hoisting geometry checks and
-          cell lookups out of the inner loop.  The sort is stable and an
-          itemset always hashes to the same cell, so per-itemset
-          observation order is preserved exactly; groups run
-          highest-position-first per bitmap so the fringe floats to its
-          final chunk geometry before lower cells fill.
+          cell lookups out of the inner loop.  Groups run in
+          first-occurrence order with rows in stream order, so per-itemset
+          observation sequences and float timing match the scalar loop
+          exactly.  The one remaining divergence window: a violation or
+          overflow that advances the fringe *mid-segment* is seen by other
+          cell groups of that segment either wholly before or wholly after
+          their rows, not interleaved — only a cell whose own capacity
+          decision straddles such an event in stream order can end up
+          different.  Disable (together with ``aggregate``) for guaranteed
+          bit-exact scalar replay.
         """
         lhs = np.asarray(lhs, dtype=np.uint64)
         rhs = np.asarray(rhs, dtype=np.uint64)
@@ -222,40 +243,69 @@ class ImplicationCountEstimator:
         all_positions = np.bitwise_count(isolated)
         np.minimum(all_positions, np.uint8(self.length - 1), out=all_positions)
         bitmaps = self.bitmaps
-        # Settle fringe geometry first: every zone-0 float of this batch is
-        # a function of the rightmost position each bitmap will see, which
-        # is known upfront.  With the floats applied, the Zone-1 filter
-        # below is accurate from the first row — no warmup chunk whose rows
-        # all pass a stale ``fringe_start == 0`` snapshot.
-        combined = all_indexes * np.uint64(self.length)
-        combined += all_positions
-        occupancy = np.bincount(
-            combined.astype(np.int64),
-            minlength=self.num_bitmaps * self.length,
-        ).reshape(self.num_bitmaps, self.length) > 0
-        max_positions = self.length - 1 - occupancy[:, ::-1].argmax(axis=1)
-        for index in np.nonzero(occupancy.any(axis=1))[0]:
-            bitmaps[index].advance_geometry(int(max_positions[index]))
-        starts = np.array(
-            [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
-        )
-        live = np.nonzero(all_positions >= starts[all_indexes])[0]
-        if live.size == 0:
-            return
-        lhs = lhs[live]
-        rhs = rhs[live]
-        all_indexes = all_indexes[live]
-        all_positions = all_positions[live]
-        weights: np.ndarray | None = None
-        if aggregate and live.size > 1:
-            lhs, rhs, all_indexes, all_positions, weights = self._aggregate_pairs(
-                lhs, rhs, all_indexes, all_positions
+        # Process the stream in contiguous blocks that grow geometrically
+        # from _BATCH_BLOCK_MIN.  Each block snapshots the per-bitmap
+        # fringe starts, drops its Zone-1 rows, optionally coalesces
+        # duplicate pairs among the survivors, and dispatches the rest —
+        # so while the geometry is still racing rightward (a cold sketch,
+        # the head of a stream) the filter re-arms every few hundred rows,
+        # and once it settles the big blocks are filtered (and
+        # deduplicated) in one cheap vectorized pass each.  Starts only
+        # ever advance, so every snapshot is conservative: a kept row
+        # whose bitmap floats or fixates later is re-checked (and skipped)
+        # by the per-cell machinery, in stream order.  Geometry is never
+        # settled upfront from batch maxima — a cell that overflows under
+        # the transient narrower window in scalar order must not ride out
+        # the overflow under the final wider one.
+        offset = 0
+        block_size = self._BATCH_BLOCK_MIN
+        while offset < len(lhs):
+            block = slice(offset, offset + block_size)
+            offset += block_size
+            block_size *= 64
+            indexes = all_indexes[block]
+            positions = all_positions[block]
+            starts = np.array(
+                [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
             )
-        # Dispatch in sub-chunks: each re-snapshots the per-bitmap fringe
-        # starts to drop rows whose cell was fixated by a violation earlier
-        # in the batch.  Starts only ever advance, so the filter is
-        # conservative — a row whose bitmap floats mid-chunk is re-checked
-        # (and skipped) by the bitmap itself.
+            live = np.nonzero(positions >= starts[indexes])[0]
+            if live.size == 0:
+                continue
+            block_lhs = lhs[block]
+            block_rhs = rhs[block]
+            if live.size < positions.size:
+                indexes = indexes[live]
+                positions = positions[live]
+                block_lhs = block_lhs[live]
+                block_rhs = block_rhs[live]
+            weights: np.ndarray | None = None
+            if aggregate and live.size > 1:
+                (
+                    block_lhs,
+                    block_rhs,
+                    indexes,
+                    positions,
+                    weights,
+                ) = self._aggregate_pairs(block_lhs, block_rhs, indexes, positions)
+            self._dispatch_block(
+                indexes, positions, block_lhs, block_rhs, weights, grouped
+            )
+
+    def _dispatch_block(
+        self,
+        all_indexes: np.ndarray,
+        all_positions: np.ndarray,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        weights: np.ndarray | None,
+        grouped: bool,
+    ) -> None:
+        """Hand one filtered block to the Python machinery in sub-chunks.
+
+        Each sub-chunk after the first re-snapshots the fringe starts to
+        drop rows whose cell a violation fixated earlier in the block.
+        """
+        bitmaps = self.bitmaps
         for offset in range(0, len(lhs), self._BATCH_CHUNK):
             chunk = slice(offset, offset + self._BATCH_CHUNK)
             indexes = all_indexes[chunk]
@@ -349,47 +399,100 @@ class ImplicationCountEstimator:
         rhs: np.ndarray,
         weights: np.ndarray | None,
     ) -> None:
-        """Sort live rows by ``(bitmap, position desc)`` and dispatch groups.
+        """Dispatch live rows one cell group at a time, floats in stream order.
 
-        ``np.lexsort`` is stable, so rows of the same cell keep their stream
-        order; because an itemset always hashes to one cell, every itemset's
-        observation sequence is preserved exactly.  Positions run highest
-        first within a bitmap: the zone-0 float (whose right edge is always
-        the rightmost hashed cell) then happens before lower fringe cells
-        fill, so cell capacities reflect the chunk's final geometry instead
-        of a transient narrower window.
+        The chunk is first cut into segments at every zone-0 float trigger —
+        a row whose cell lies right of both its bitmap's current fringe edge
+        and every earlier position that bitmap sees in the chunk.  Segments
+        replay in stream order, and the trigger row opens its segment, so
+        each float (and the fixation it causes) happens exactly where the
+        scalar loop would apply it; within a segment no fringe can float,
+        which is what makes whole-group dispatch safe.
         """
-        # Positions are uint8 (<= length - 1 <= 63), so ``63 - p`` is a
-        # wrap-free descending key.
-        order = np.lexsort((np.uint8(63) - positions, indexes))
-        indexes = indexes[order]
-        positions = positions[order]
-        edges = np.flatnonzero(
-            (np.diff(indexes) != 0) | (np.diff(positions) != 0)
-        ) + 1
-        bounds = np.concatenate(([0], edges, [len(indexes)])).tolist()
-        group_indexes = indexes[bounds[:-1]].tolist()
-        group_positions = positions[bounds[:-1]].tolist()
+        bitmaps = self.bitmaps
+        # A float fires when a position exceeds both the bitmap's rightmost
+        # hashed cell and its fringe end (update_at lines 3-5); both only
+        # grow, so testing against their chunk-entry values over-approximates
+        # the triggers.  Extra cuts merely split a segment — never wrong.
+        thresholds = np.fromiter(
+            (
+                max(bitmap.rightmost_hashed, bitmap.fringe_end)
+                for bitmap in bitmaps
+            ),
+            dtype=np.int64,
+            count=len(bitmaps),
+        )
+        pos64 = positions.astype(np.int64)
+        idx64 = indexes.astype(np.int64)
+        candidates = np.flatnonzero(pos64 > thresholds[idx64])
+        bounds = [0, len(idx64)]
+        if candidates.size:
+            cuts = []
+            running: dict[int, int] = {}
+            for row, index, position in zip(
+                candidates.tolist(),
+                idx64[candidates].tolist(),
+                pos64[candidates].tolist(),
+            ):
+                if position > running.get(index, -1):
+                    running[index] = position
+                    if row:
+                        cuts.append(row)
+            bounds = [0, *cuts, len(idx64)]
+        for begin, end in zip(bounds, bounds[1:]):
+            self._dispatch_segment(
+                idx64[begin:end],
+                pos64[begin:end],
+                lhs[begin:end],
+                rhs[begin:end],
+                None if weights is None else weights[begin:end],
+            )
+
+    def _dispatch_segment(
+        self,
+        indexes: np.ndarray,
+        positions: np.ndarray,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> None:
+        """Group a float-free segment by cell and dispatch each group whole.
+
+        The stable sort keys rows by ``(bitmap, position)``; groups are
+        dispatched in order of their first stream occurrence with rows in
+        stream order, so every itemset's observation sequence — and the
+        relative order of each cell's *first* touch — matches the scalar
+        loop exactly.
+        """
+        cells = indexes * np.int64(self.length) + positions
+        order = np.argsort(cells, kind="stable")
+        sorted_cells = cells[order]
+        edges = np.flatnonzero(np.diff(sorted_cells) != 0) + 1
+        bounds = np.concatenate(([0], edges, [len(order)])).tolist()
+        group_starts = bounds[:-1]
+        group_indexes = indexes[order[group_starts]].tolist()
+        group_positions = positions[order[group_starts]].tolist()
+        # First row of each group is its earliest stream offset (the sort
+        # is stable), so this rank replays groups in first-occurrence order.
+        dispatch_rank = np.argsort(order[group_starts], kind="stable").tolist()
         lhs_list = lhs[order].tolist()
         rhs_list = rhs[order].tolist()
         weight_list = None if weights is None else weights[order].tolist()
         bitmaps = self.bitmaps
         if weight_list is None:
-            for begin, end, index, position in zip(
-                bounds, bounds[1:], group_indexes, group_positions
-            ):
-                bitmaps[index].update_group(
-                    position, lhs_list[begin:end], rhs_list[begin:end]
+            for group in dispatch_rank:
+                bitmaps[group_indexes[group]].update_group(
+                    group_positions[group],
+                    lhs_list[bounds[group] : bounds[group + 1]],
+                    rhs_list[bounds[group] : bounds[group + 1]],
                 )
         else:
-            for begin, end, index, position in zip(
-                bounds, bounds[1:], group_indexes, group_positions
-            ):
-                bitmaps[index].update_group(
-                    position,
-                    lhs_list[begin:end],
-                    rhs_list[begin:end],
-                    weight_list[begin:end],
+            for group in dispatch_rank:
+                bitmaps[group_indexes[group]].update_group(
+                    group_positions[group],
+                    lhs_list[bounds[group] : bounds[group + 1]],
+                    rhs_list[bounds[group] : bounds[group + 1]],
+                    weight_list[bounds[group] : bounds[group + 1]],
                 )
 
     # ------------------------------------------------------------------ #

@@ -191,23 +191,6 @@ class NIPSBitmap:
             # Found an itemset with NOT(a -> B): record the event.
             self._assign_one(position)
 
-    def advance_geometry(self, position: int) -> None:
-        """Eagerly apply the zone-0 float for a cell about to be hashed.
-
-        Algorithm 1 keeps the invariant "the right edge is always the
-        rightmost hashed cell" (lines 3-5).  Batch ingestion knows every
-        position a chunk will hash *before* dispatching it, so it settles
-        the fringe geometry here first: cells the float would fixate are
-        never materialized, and capacity checks see the chunk's final
-        window instead of a transiently narrower one.
-        """
-        if not 0 <= position < self.length:
-            raise IndexError(f"cell {position} outside bitmap of {self.length} cells")
-        if position > self.rightmost_hashed:
-            self.rightmost_hashed = position
-            if self.fringe_size is not None and position > self.fringe_end:
-                self._float_to(position - self.fringe_size + 1)
-
     def update_group(
         self,
         position: int,

@@ -102,6 +102,12 @@ class ShardedIngestor:
         a :class:`repro.distributed.coordinator.Coordinator` expects from
         :meth:`receive`, so an in-process shard farm and a fleet of remote
         nodes are interchangeable aggregation sources.
+
+        Being the perf-oriented engine path, shards run the full batch
+        engine by default (``aggregate=True, grouped=True`` — note the
+        public :meth:`~ImplicationCountEstimator.update_batch` defaults to
+        ``aggregate=False``); pass ``aggregate=False, grouped=False`` for
+        scalar-replay semantics within each shard.
         """
         lhs = np.asarray(lhs, dtype=np.uint64)
         rhs = np.asarray(rhs, dtype=np.uint64)

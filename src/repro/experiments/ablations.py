@@ -402,7 +402,7 @@ def run_throughput(
     )
     batch_aggregated_tps = best_tps(
         lambda: ImplicationCountEstimator(data.conditions, seed=seed).update_batch(
-            data.lhs, data.rhs
+            data.lhs, data.rhs, aggregate=True, grouped=True
         )
     )
 

@@ -124,6 +124,7 @@ class TestBatchEquivalence:
             scalar_reference(conditions, family, lhs, rhs)
         )
         for kwargs in (
+            {"aggregate": False, "grouped": False},
             {"aggregate": True, "grouped": False},
             {"aggregate": False, "grouped": True},
             {"aggregate": True, "grouped": True},
@@ -174,6 +175,89 @@ class TestShardedEngine:
         template = make_estimator(conditions, "splitmix")
         merged = ShardedIngestor(template, workers=4).ingest(lhs[:3], rhs[:3])
         assert merged.tuples_seen == 3
+
+
+ALL_PATHS = [
+    {"aggregate": False, "grouped": False},
+    {"aggregate": False, "grouped": True},
+    {"aggregate": True, "grouped": False},
+    {"aggregate": True, "grouped": True},
+]
+
+
+class TestTransientFringeGeometry:
+    """Zone-0 floats must fire at their stream positions in every path.
+
+    Settling a batch's final fringe geometry up front (or dispatching
+    high cells first) lets a cell ride out an overflow the scalar order
+    takes under the transient narrower window — the regression pinned
+    here (review finding on the original geometry pre-pass).
+    """
+
+    # Overflow is the only decision driver: support never reaches tau.
+    CONDITIONS = ImplicationConditions(min_support=10**6)
+
+    @staticmethod
+    def keys_hashing_to_cell(estimator, cell, count):
+        """Encoded itemsets this estimator places in ``cell`` (bitmap 0)."""
+        assert estimator.num_bitmaps == 1
+        found = []
+        raw = 1
+        while len(found) < count:
+            hashed = estimator.hash_function(raw)
+            position = min(
+                (hashed & -hashed).bit_length() - 1 if hashed else 64,
+                estimator.length - 1,
+            )
+            if position == cell:
+                found.append(raw)
+            raw += 1
+        return found
+
+    def make(self):
+        return ImplicationCountEstimator(self.CONDITIONS, num_bitmaps=1, seed=5)
+
+    def run_all_paths(self, lhs, rhs):
+        """Scalar-reference state and the assertion over every batch path."""
+        scalar = self.make()
+        for a, b in zip(lhs.tolist(), rhs.tolist()):
+            scalar.update(a, b)
+        reference = canonical_state(scalar)
+        for kwargs in ALL_PATHS:
+            estimator = self.make()
+            estimator.update_batch(lhs, rhs, **kwargs)
+            assert canonical_state(estimator) == reference, kwargs
+        return scalar
+
+    def test_overflow_under_transient_window_then_float(self):
+        """Five distinct itemsets overflow cell 2 (capacity 4 while the
+        fringe is [0, 3]); a later cell-5 row floats the fringe.  Scalar
+        order overflows first, so the float fixates cell 2 and lands
+        ``fringe_start == 3`` — the pre-pass used to widen the window
+        first and keep cell 2 alive at ``fringe_start == 2``."""
+        probe = self.make()
+        low = self.keys_hashing_to_cell(probe, 2, 5)
+        high = self.keys_hashing_to_cell(probe, 5, 1)
+        lhs = np.array(low + high, dtype=np.uint64)
+        rhs = np.arange(1, len(lhs) + 1, dtype=np.uint64)
+        scalar = self.run_all_paths(lhs, rhs)
+        assert scalar.bitmaps[0].fringe_start == 3  # the overflow latched
+
+    def test_float_interleaved_with_cell_fill(self):
+        """The mirror image: the float lands mid-fill (3 itemsets, float,
+        2 more), so scalar order *widens* the window before the 5th
+        distinct itemset and no overflow happens.  Grouped dispatch must
+        split the cell-2 run at the float instead of replaying it whole
+        under the narrow window."""
+        probe = self.make()
+        low = self.keys_hashing_to_cell(probe, 2, 5)
+        high = self.keys_hashing_to_cell(probe, 5, 1)
+        lhs = np.array(low[:3] + high + low[3:], dtype=np.uint64)
+        rhs = np.arange(1, len(lhs) + 1, dtype=np.uint64)
+        scalar = self.run_all_paths(lhs, rhs)
+        bitmap = scalar.bitmaps[0]
+        assert bitmap.fringe_start == 2  # float only; no overflow latched
+        assert len(bitmap._cells[2]) == 5  # all five itemsets survived
 
 
 class TestMergeOrderDependence:

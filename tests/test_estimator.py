@@ -52,6 +52,14 @@ class TestConstruction:
         assert weighted.implication_count() == expanded.implication_count()
         assert weighted.nonimplication_count() == expanded.nonimplication_count()
 
+    def test_update_many_weight_length_mismatch_rejected(self, one_to_one):
+        """A short (or long) weights iterable must raise, not drop tuples."""
+        estimator = ImplicationCountEstimator(one_to_one, seed=1)
+        with pytest.raises(ValueError):
+            estimator.update_many([(1, 2), (3, 4)], weights=[1])
+        with pytest.raises(ValueError):
+            estimator.update_many([(1, 2)], weights=[1, 2])
+
 
 class TestBatchScalarEquivalence:
     """The vectorized path must be bit-identical to the scalar path."""
