@@ -21,6 +21,7 @@ import sys
 
 from .analysis.experiments import scale_settings
 from .analysis.reporting import banner
+from .observability import metrics as obs
 from .experiments import (
     format_figure,
     format_table4,
@@ -115,21 +116,42 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the throughput results as JSON to PATH",
     )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the observability metrics collected during the "
+            "throughput run (engine/coordinator/serialize counters, "
+            "per-shard timings) as JSON to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
     if any(workers < 1 for workers in args.workers):
         parser.error("--workers values must be >= 1")
-    if args.bench_json:
-        # Catch an unwritable target up front, not after a minute of timing.
-        directory = os.path.dirname(os.path.abspath(args.bench_json))
-        if not os.path.isdir(directory):
-            parser.error(f"--bench-json: no such directory: {directory}")
+    for option in ("bench_json", "metrics_json"):
+        target = getattr(args, option)
+        if target:
+            # Catch an unwritable target up front, not after timing runs.
+            directory = os.path.dirname(os.path.abspath(target))
+            if not os.path.isdir(directory):
+                flag = "--" + option.replace("_", "-")
+                parser.error(f"{flag}: no such directory: {directory}")
 
     def _run_throughput() -> str:
+        if args.metrics_json:
+            # A fresh registry scopes the export to this run alone.
+            obs.reset_registry()
         result, table = run_throughput(sharded_workers=tuple(args.workers))
         if args.bench_json:
             with open(args.bench_json, "w", encoding="utf-8") as handle:
                 json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
                 handle.write("\n")
+        if args.metrics_json:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                handle.write(obs.get_registry().to_json())
+                handle.write("\n")
+            table += "\n\n" + obs.get_registry().render()
         return table
 
     commands = {

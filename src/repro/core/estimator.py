@@ -31,6 +31,7 @@ from typing import Hashable, Iterable
 
 import numpy as np
 
+from ..observability import metrics as obs
 from ..sketch.bitops import HASH_BITS, least_significant_bit, least_significant_bit_array
 from ..sketch.fm import pcsa_scale
 from ..sketch.hashing import HashFamily, HashFunction
@@ -229,6 +230,13 @@ class ImplicationCountEstimator:
         self.tuples_seen += len(lhs)
         if len(lhs) == 0:
             return
+        # Metrics at batch granularity: a handful of counter adds per call,
+        # invisible next to the vector work (the <= 5% overhead bound).
+        registry = obs.get_registry()
+        registry.counter("ingest.batches").add(1)
+        registry.counter("ingest.tuples").add(len(lhs))
+        live_counter = registry.counter("batch.live_rows")
+        block_counter = registry.counter("batch.blocks")
         hashed = self.hash_function.hash_array(lhs)
         routed = hashed >> np.uint64(self.route_bits)
         all_indexes = hashed & np.uint64(self.num_bitmaps - 1)
@@ -268,9 +276,11 @@ class ImplicationCountEstimator:
             starts = np.array(
                 [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
             )
+            block_counter.add(1)
             live = np.nonzero(positions >= starts[indexes])[0]
             if live.size == 0:
                 continue
+            live_counter.add(int(live.size))
             block_lhs = lhs[block]
             block_rhs = rhs[block]
             if live.size < positions.size:
@@ -439,6 +449,10 @@ class ImplicationCountEstimator:
                     if row:
                         cuts.append(row)
             bounds = [0, *cuts, len(idx64)]
+            obs.get_registry().counter("batch.zone0_float_triggers").add(
+                len(bounds) - 2
+            )
+        obs.get_registry().counter("batch.segments").add(len(bounds) - 1)
         for begin, end in zip(bounds, bounds[1:]):
             self._dispatch_segment(
                 idx64[begin:end],
@@ -478,6 +492,7 @@ class ImplicationCountEstimator:
         lhs_list = lhs[order].tolist()
         rhs_list = rhs[order].tolist()
         weight_list = None if weights is None else weights[order].tolist()
+        obs.get_registry().counter("batch.groups").add(len(group_starts))
         bitmaps = self.bitmaps
         if weight_list is None:
             for group in dispatch_rank:
@@ -558,6 +573,22 @@ class ImplicationCountEstimator:
             itemset_budget=budget,
         )
 
+    def is_compatible(self, other: "ImplicationCountEstimator") -> bool:
+        """Whether ``other`` can be merged into this estimator.
+
+        Merge-compatibility means identical geometry (bitmap count, cell
+        count, fringe width), identical conditions, and the same placement
+        hash — the invariants a :class:`repro.distributed.Coordinator`
+        checks before accepting a remote snapshot.
+        """
+        return (
+            self.num_bitmaps == other.num_bitmaps
+            and self.length == other.length
+            and self.fringe_size == other.fringe_size
+            and self.conditions == other.conditions
+            and repr(self.hash_function) == repr(other.hash_function)
+        )
+
     def merge(self, other: "ImplicationCountEstimator") -> "ImplicationCountEstimator":
         """Fold another node's estimator into this one (distributed setting).
 
@@ -566,13 +597,7 @@ class ImplicationCountEstimator:
         same seed).  After merging, this estimator summarizes the union of
         both sub-streams; see :meth:`NIPSBitmap.merge` for semantics.
         """
-        if (
-            self.num_bitmaps != other.num_bitmaps
-            or self.length != other.length
-            or self.fringe_size != other.fringe_size
-            or self.conditions != other.conditions
-            or repr(self.hash_function) != repr(other.hash_function)
-        ):
+        if not self.is_compatible(other):
             raise ValueError("cannot merge incompatible estimators")
         for mine, theirs in zip(self.bitmaps, other.bitmaps):
             mine.merge(theirs)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from itertools import repeat
 from typing import Hashable, Sequence
 
+from ..observability import metrics as obs
 from ..sketch.bitops import HASH_BITS, least_significant_bit
 from ..sketch.hashing import HashFamily, HashFunction
 from .conditions import ImplicationConditions, ItemsetStatus
@@ -305,6 +306,9 @@ class NIPSBitmap:
         new_start = max(new_start, 0)
         if new_start <= self.fringe_start:
             return
+        # Floats are rare (fringe_start only advances, bounded by the cell
+        # count per bitmap), so a per-event counter costs nothing at scale.
+        obs.get_registry().counter("nips.fringe_floats").add(1)
         for position in range(self.fringe_start, new_start):
             self._cells.pop(position, None)
             self._value_one.discard(position)

@@ -23,6 +23,7 @@ import json
 import zlib
 from typing import Hashable
 
+from ..observability import metrics as obs
 from ..sketch.hashing import (
     HashFunction,
     MultiplyShiftHash,
@@ -58,6 +59,35 @@ class SketchFormatError(ValueError):
     """Raised for malformed, truncated or version-incompatible payloads."""
 
 
+def _field(payload, key: str):
+    """Required-field access that degrades to :class:`SketchFormatError`.
+
+    Fuzzed or truncated payloads must never escape as raw ``KeyError`` /
+    ``TypeError`` — a receiving coordinator quarantines on
+    :class:`SketchFormatError` and nothing else.
+    """
+    try:
+        return payload[key]
+    except (KeyError, TypeError, IndexError):
+        raise SketchFormatError(
+            f"sketch payload missing required field {key!r}"
+        ) from None
+
+
+def _int_field(payload, key: str, minimum: int | None = None) -> int:
+    """A required integer field, optionally bounds-checked from below."""
+    raw = _field(payload, key)
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise SketchFormatError(
+            f"sketch field {key!r} must be an integer, got {raw!r}"
+        )
+    if minimum is not None and raw < minimum:
+        raise SketchFormatError(
+            f"sketch field {key!r} must be >= {minimum}, got {raw}"
+        )
+    return raw
+
+
 # --------------------------------------------------------------------- #
 # Itemset keys
 # --------------------------------------------------------------------- #
@@ -86,18 +116,23 @@ def _decode_key(payload) -> Hashable:
     if not isinstance(payload, dict) or len(payload) != 1:
         raise SketchFormatError(f"malformed key payload: {payload!r}")
     ((tag, value),) = payload.items()
-    if tag == "c":
-        return {"None": None, "True": True, "False": False}[value]
-    if tag == "i":
-        return int(value)
-    if tag == "f":
-        return float(value)
-    if tag == "s":
-        return str(value)
-    if tag == "b":
-        return bytes.fromhex(value)
-    if tag == "t":
-        return tuple(_decode_key(element) for element in value)
+    try:
+        if tag == "c":
+            return {"None": None, "True": True, "False": False}[value]
+        if tag == "i":
+            return int(value)
+        if tag == "f":
+            return float(value)
+        if tag == "s":
+            return str(value)
+        if tag == "b":
+            return bytes.fromhex(value)
+        if tag == "t":
+            return tuple(_decode_key(element) for element in value)
+    except SketchFormatError:
+        raise
+    except (KeyError, TypeError, ValueError):
+        raise SketchFormatError(f"malformed key payload: {payload!r}") from None
     raise SketchFormatError(f"unknown key tag {tag!r}")
 
 
@@ -113,19 +148,39 @@ def _hash_to_dict(function: HashFunction) -> dict:
             if isinstance(function, PolynomialHash):
                 payload["degree"] = function.degree
             return payload
+    # An exact-type match failed.  A *subclass* of a known family is the
+    # confusing case: it has a seed, it quacks like its base, but the wire
+    # format only carries ``(kind, seed)`` — the receiver would rebuild the
+    # base class and silently place itemsets differently.  Say so.
+    for kind, cls in _HASH_KINDS.items():
+        if isinstance(function, cls):
+            raise SketchFormatError(
+                f"cannot serialize hash of type {type(function).__name__}: "
+                f"it subclasses the {kind!r} family ({cls.__name__}), but the "
+                f"wire format carries only (kind, seed) and the receiving "
+                f"node would rebuild plain {cls.__name__} — register the "
+                f"subclass as its own kind or use a built-in family"
+            )
     raise SketchFormatError(
-        f"cannot serialize hash of type {type(function).__name__}"
+        f"cannot serialize hash of type {type(function).__name__}; "
+        f"supported kinds: {', '.join(sorted(_HASH_KINDS))}"
     )
 
 
-def _hash_from_dict(payload: dict) -> HashFunction:
+def _hash_from_dict(payload) -> HashFunction:
+    kind = _field(payload, "kind")
     try:
-        cls = _HASH_KINDS[payload["kind"]]
-    except KeyError:
+        cls = _HASH_KINDS[kind]
+    except (KeyError, TypeError):
         raise SketchFormatError(f"unknown hash kind in payload: {payload!r}") from None
-    if payload["kind"] == "polynomial":
-        return cls(payload["seed"], degree=payload.get("degree", 4))
-    return cls(payload["seed"])
+    seed = _int_field(payload, "seed")
+    try:
+        if kind == "polynomial":
+            degree = payload.get("degree", 4)
+            return cls(seed, degree=degree)
+        return cls(seed)
+    except (TypeError, ValueError) as error:
+        raise SketchFormatError(f"invalid hash parameters: {error}") from error
 
 
 def _state_to_list(state: ItemsetState) -> list:
@@ -143,15 +198,22 @@ def _state_from_list(payload) -> ItemsetState:
     except (TypeError, ValueError):
         raise SketchFormatError(f"malformed itemset state: {payload!r}") from None
     state = ItemsetState()
-    state.support = int(support)
-    state.multiplicity_exceeded = bool(exceeded)
-    state.violated = bool(violated)
-    if partners is None:
-        state.partners = None
-    else:
-        state.partners = {
-            _decode_key(key): int(count) for key, count in partners
-        }
+    try:
+        state.support = int(support)
+        state.multiplicity_exceeded = bool(exceeded)
+        state.violated = bool(violated)
+        if partners is None:
+            state.partners = None
+        else:
+            state.partners = {
+                _decode_key(key): int(count) for key, count in partners
+            }
+    except SketchFormatError:
+        raise
+    except (TypeError, ValueError):
+        raise SketchFormatError(f"malformed itemset state: {payload!r}") from None
+    if state.support < 0:
+        raise SketchFormatError(f"negative support in itemset state: {payload!r}")
     return state
 
 
@@ -175,16 +237,47 @@ def _bitmap_to_dict(bitmap: NIPSBitmap) -> dict:
 
 
 def _bitmap_restore(bitmap: NIPSBitmap, payload: dict) -> None:
-    bitmap.fringe_start = int(payload["fringe_start"])
-    bitmap.rightmost_hashed = int(payload["rightmost_hashed"])
-    bitmap.tuples_seen = int(payload["tuples_seen"])
-    bitmap._value_one = set(int(p) for p in payload["value_one"])
-    bitmap._cells = {
-        int(position): {
-            _decode_key(key): _state_from_list(state) for key, state in cell
+    length = bitmap.length
+    fringe_start = _int_field(payload, "fringe_start", minimum=0)
+    if fringe_start > length:
+        raise SketchFormatError(
+            f"fringe_start {fringe_start} outside bitmap of {length} cells"
+        )
+    rightmost = _int_field(payload, "rightmost_hashed", minimum=-1)
+    if rightmost >= length:
+        raise SketchFormatError(
+            f"rightmost_hashed {rightmost} outside bitmap of {length} cells"
+        )
+    tuples_seen = _int_field(payload, "tuples_seen", minimum=0)
+    try:
+        value_one = set(int(position) for position in _field(payload, "value_one"))
+        cells = {
+            int(position): {
+                _decode_key(key): _state_from_list(state) for key, state in cell
+            }
+            for position, cell in _field(payload, "cells")
         }
-        for position, cell in payload["cells"]
-    }
+    except SketchFormatError:
+        raise
+    except (TypeError, ValueError):
+        raise SketchFormatError(
+            "malformed bitmap cells/value bits in sketch payload"
+        ) from None
+    for position in value_one:
+        if not 0 <= position < length:
+            raise SketchFormatError(
+                f"value-1 position {position} outside bitmap of {length} cells"
+            )
+    for position in cells:
+        if not 0 <= position < length:
+            raise SketchFormatError(
+                f"cell position {position} outside bitmap of {length} cells"
+            )
+    bitmap.fringe_start = fringe_start
+    bitmap.rightmost_hashed = rightmost
+    bitmap.tuples_seen = tuples_seen
+    bitmap._value_one = value_one
+    bitmap._cells = cells
 
 
 def _conditions_to_dict(conditions: ImplicationConditions) -> dict:
@@ -218,26 +311,57 @@ def estimator_to_dict(estimator: ImplicationCountEstimator) -> dict:
 
 
 def estimator_from_dict(payload: dict) -> ImplicationCountEstimator:
-    """Rebuild an estimator from :func:`estimator_to_dict` output."""
+    """Rebuild an estimator from :func:`estimator_to_dict` output.
+
+    Every structural assumption is guarded: missing fields, wrong types and
+    out-of-range geometry (negative ``length``/``fringe_size``, cell
+    positions outside the bitmap, …) all surface as
+    :class:`SketchFormatError` — the promised *only* failure mode for
+    malformed payloads, which is what lets a coordinator quarantine bad
+    snapshots instead of crashing.
+    """
+    if not isinstance(payload, dict):
+        raise SketchFormatError(
+            f"sketch payload must be an object, got {type(payload).__name__}"
+        )
     if payload.get("version") != _VERSION:
         raise SketchFormatError(
             f"unsupported sketch version {payload.get('version')!r}"
         )
-    conditions = ImplicationConditions(**payload["conditions"])
-    estimator = ImplicationCountEstimator(
-        conditions,
-        num_bitmaps=int(payload["num_bitmaps"]),
-        fringe_size=payload["fringe_size"],
-        length=int(payload["length"]),
-        capacity_slack=int(payload["capacity_slack"]),
-        hash_function=_hash_from_dict(payload["hash"]),
-        bias_correction=bool(payload["bias_correction"]),
-    )
-    estimator.tuples_seen = int(payload["tuples_seen"])
-    bitmaps = payload["bitmaps"]
-    if len(bitmaps) != estimator.num_bitmaps:
+    conditions_payload = _field(payload, "conditions")
+    if not isinstance(conditions_payload, dict):
         raise SketchFormatError(
-            f"payload has {len(bitmaps)} bitmaps, header says "
+            f"sketch conditions must be an object, got {conditions_payload!r}"
+        )
+    try:
+        conditions = ImplicationConditions(**conditions_payload)
+    except (TypeError, ValueError) as error:
+        raise SketchFormatError(f"invalid implication conditions: {error}") from error
+    fringe_size = _field(payload, "fringe_size")
+    if fringe_size is not None:
+        fringe_size = _int_field(payload, "fringe_size", minimum=1)
+    try:
+        estimator = ImplicationCountEstimator(
+            conditions,
+            num_bitmaps=_int_field(payload, "num_bitmaps", minimum=1),
+            fringe_size=fringe_size,
+            length=_int_field(payload, "length", minimum=1),
+            capacity_slack=_int_field(payload, "capacity_slack", minimum=1),
+            hash_function=_hash_from_dict(_field(payload, "hash")),
+            bias_correction=bool(_field(payload, "bias_correction")),
+        )
+    except SketchFormatError:
+        raise
+    except (TypeError, ValueError) as error:
+        # The constructors re-validate geometry (power-of-two bitmap count,
+        # length <= hash width, …); their rejections are format errors here.
+        raise SketchFormatError(f"invalid sketch geometry: {error}") from error
+    estimator.tuples_seen = _int_field(payload, "tuples_seen", minimum=0)
+    bitmaps = _field(payload, "bitmaps")
+    if not isinstance(bitmaps, list) or len(bitmaps) != estimator.num_bitmaps:
+        count = len(bitmaps) if isinstance(bitmaps, list) else bitmaps
+        raise SketchFormatError(
+            f"payload has {count!r} bitmaps, header says "
             f"{estimator.num_bitmaps}"
         )
     for bitmap, bitmap_payload in zip(estimator.bitmaps, bitmaps):
@@ -250,18 +374,33 @@ def estimator_to_bytes(estimator: ImplicationCountEstimator) -> bytes:
     body = json.dumps(
         estimator_to_dict(estimator), separators=(",", ":")
     ).encode("utf-8")
-    return _MAGIC + bytes([_VERSION]) + zlib.compress(body, level=6)
+    payload = _MAGIC + bytes([_VERSION]) + zlib.compress(body, level=6)
+    registry = obs.get_registry()
+    registry.counter("serialize.encoded").add(1)
+    registry.histogram("serialize.payload_bytes").observe(len(payload))
+    return payload
 
 
 def estimator_from_bytes(payload: bytes) -> ImplicationCountEstimator:
     """Inverse of :func:`estimator_to_bytes` (validates magic and version)."""
-    if len(payload) < 5 or payload[:4] != _MAGIC:
-        raise SketchFormatError("not a NIPS sketch payload (bad magic)")
-    if payload[4] != _VERSION:
-        raise SketchFormatError(f"unsupported sketch version {payload[4]}")
     try:
-        body = zlib.decompress(payload[5:])
-        decoded = json.loads(body)
-    except (zlib.error, json.JSONDecodeError) as error:
-        raise SketchFormatError(f"corrupt sketch payload: {error}") from error
-    return estimator_from_dict(decoded)
+        if not isinstance(payload, (bytes, bytearray, memoryview)):
+            raise SketchFormatError(
+                f"sketch payload must be bytes, got {type(payload).__name__}"
+            )
+        payload = bytes(payload)
+        if len(payload) < 5 or payload[:4] != _MAGIC:
+            raise SketchFormatError("not a NIPS sketch payload (bad magic)")
+        if payload[4] != _VERSION:
+            raise SketchFormatError(f"unsupported sketch version {payload[4]}")
+        try:
+            body = zlib.decompress(payload[5:])
+            decoded = json.loads(body)
+        except (zlib.error, json.JSONDecodeError) as error:
+            raise SketchFormatError(f"corrupt sketch payload: {error}") from error
+        estimator = estimator_from_dict(decoded)
+    except SketchFormatError:
+        obs.get_registry().counter("serialize.rejected").add(1)
+        raise
+    obs.get_registry().counter("serialize.decoded").add(1)
+    return estimator

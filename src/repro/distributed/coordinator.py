@@ -19,30 +19,88 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..core.estimator import ImplicationCountEstimator
+from ..core.serialize import SketchFormatError
+from ..observability import metrics as obs
 from .node import StreamNode
 
 __all__ = ["Coordinator", "AggregationTree"]
 
 
 class Coordinator:
-    """Star-topology aggregator over the latest snapshot per node."""
+    """Star-topology aggregator over the latest snapshot per node.
+
+    Incoming snapshots are **quarantined before they are stored**:
+    :meth:`receive` fully decodes every payload (magic/version header,
+    structural validation, geometry bounds — see
+    :mod:`repro.core.serialize`) and checks merge compatibility against the
+    coordinator's template.  A corrupt or geometry-incompatible snapshot is
+    rejected — counted in :attr:`rejected_payloads`, reason kept in
+    :attr:`rejection_reasons` — and the node's previous good snapshot (if
+    any) stays in force, so one bad message can never poison
+    :meth:`merged_estimator`.
+    """
 
     def __init__(self, template: ImplicationCountEstimator) -> None:
         self.template = template
         self._latest: dict[str, bytes] = {}
         self.bytes_received = 0
+        #: Rejected payload count per node name (quarantine accounting).
+        self.rejected_payloads: dict[str, int] = {}
+        #: Most recent rejection reason per node name.
+        self.rejection_reasons: dict[str, str] = {}
+        #: Monotonic epoch for :meth:`ingest_sharded` shard namespacing.
+        self._ingest_epoch = 0
 
-    def receive(self, node_name: str, payload: bytes) -> None:
-        """Store a node's latest snapshot (replacing any earlier one)."""
+    def receive(self, node_name: str, payload: bytes) -> bool:
+        """Validate and store a node's latest snapshot.
+
+        Returns ``True`` if the snapshot was accepted (replacing any
+        earlier one from the same node), ``False`` if it was quarantined.
+        """
+        registry = obs.get_registry()
+        try:
+            decoded = ImplicationCountEstimator.from_bytes(payload)
+        except SketchFormatError as error:
+            return self._reject(node_name, f"corrupt payload: {error}")
+        if not self.template.is_compatible(decoded):
+            return self._reject(
+                node_name,
+                "geometry-incompatible sketch: "
+                f"{decoded.num_bitmaps} bitmaps x {decoded.length} cells, "
+                f"fringe {decoded.fringe_size}, vs template "
+                f"{self.template.num_bitmaps} x {self.template.length}, "
+                f"fringe {self.template.fringe_size}",
+            )
         self._latest[node_name] = payload
         self.bytes_received += len(payload)
+        registry.counter("coordinator.payloads_accepted").add(1)
+        registry.counter("coordinator.bytes_received").add(len(payload))
+        return True
+
+    def _reject(self, node_name: str, reason: str) -> bool:
+        """Quarantine one payload: count it, keep the reason, store nothing."""
+        self.rejected_payloads[node_name] = (
+            self.rejected_payloads.get(node_name, 0) + 1
+        )
+        self.rejection_reasons[node_name] = reason
+        obs.get_registry().counter("coordinator.payloads_rejected").add(1)
+        return False
 
     def sync(self, nodes: Iterable[StreamNode]) -> None:
         """Pull a fresh snapshot from every node (convenience for sims)."""
         for node in nodes:
             self.receive(node.name, node.snapshot())
 
-    def ingest_sharded(self, lhs, rhs, workers: int = 1) -> None:
+    def ingest_sharded(
+        self,
+        lhs,
+        rhs,
+        workers: int = 1,
+        *,
+        aggregate: bool = True,
+        grouped: bool = True,
+        job_timeout: float | None = None,
+    ) -> None:
         """Ingest a local stream through the sharded engine.
 
         Splits the columns across ``workers`` processes with
@@ -50,18 +108,31 @@ class Coordinator:
         coordinator's template) and registers every shard snapshot via
         :meth:`receive` — an in-machine shard farm and a fleet of remote
         nodes are interchangeable aggregation sources.
+
+        Every call gets its own epoch in the shard namespace
+        (``ingest-3/shard-0``), so repeated calls *accumulate* streams
+        instead of silently replacing the previous call's snapshots under
+        the latest-snapshot-per-node rule.  ``aggregate`` / ``grouped`` /
+        ``job_timeout`` pass straight through to the ingestor.
         """
         from ..engine import ShardedIngestor
 
-        ingestor = ShardedIngestor(self.template, workers=workers)
-        for shard_name, payload in ingestor.ingest_payloads(lhs, rhs):
-            self.receive(shard_name, payload)
+        epoch = self._ingest_epoch
+        self._ingest_epoch += 1
+        ingestor = ShardedIngestor(
+            self.template, workers=workers, job_timeout=job_timeout
+        )
+        for shard_name, payload in ingestor.ingest_payloads(
+            lhs, rhs, aggregate=aggregate, grouped=grouped
+        ):
+            self.receive(f"ingest-{epoch}/{shard_name}", payload)
 
     def merged_estimator(self) -> ImplicationCountEstimator:
         """Rebuild the union estimator from the latest snapshots."""
         merged = self.template.spawn_sibling()
         for payload in self._latest.values():
             merged.merge(ImplicationCountEstimator.from_bytes(payload))
+        obs.get_registry().counter("coordinator.merges").add(len(self._latest))
         return merged
 
     def implication_count(self) -> float:

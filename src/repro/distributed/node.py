@@ -18,6 +18,7 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..core.estimator import ImplicationCountEstimator
+from ..observability import metrics as obs
 
 __all__ = ["StreamNode"]
 
@@ -62,6 +63,9 @@ class StreamNode:
         payload = self.estimator.to_bytes()
         self.snapshots_sent += 1
         self.bytes_sent += len(payload)
+        registry = obs.get_registry()
+        registry.counter("node.snapshots").add(1)
+        registry.counter("node.bytes_sent").add(len(payload))
         return payload
 
     def local_implication_count(self) -> float:

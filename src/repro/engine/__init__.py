@@ -6,6 +6,6 @@ The single-core fast path lives in
 cores by reusing the distributed split/ship/merge machinery locally.
 """
 
-from .sharded import ShardedIngestor, available_workers
+from .sharded import ShardedIngestor, ShardFailure, available_workers
 
-__all__ = ["ShardedIngestor", "available_workers"]
+__all__ = ["ShardedIngestor", "ShardFailure", "available_workers"]

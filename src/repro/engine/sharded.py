@@ -1,4 +1,4 @@
-"""Sharded multi-core ingestion: split, ingest, ship, merge.
+"""Sharded multi-core ingestion: split, ingest, ship, merge — fault-tolerantly.
 
 The distributed machinery of Section 1 (per-node sketches folded by an
 aggregator) works just as well *inside* one machine: the stream is split
@@ -8,6 +8,24 @@ into a fresh sibling estimator (:meth:`ImplicationCountEstimator
 their state back through the versioned wire format
 (:mod:`repro.core.serialize`), and the parent folds the payloads with
 :meth:`ImplicationCountEstimator.merge`.
+
+Fault tolerance (the paper's constrained-environment premise: nodes die):
+
+* each shard job has an optional per-shard timeout (``job_timeout``) so a
+  hung or killed worker cannot stall the whole ingest;
+* a failed or timed-out shard is re-ingested **serially in the parent,
+  exactly once** — only the failed shards are redone, never the whole
+  stream, and because every shard is deterministic (same template payload,
+  same rows) the retried result is bit-for-bit what the worker would have
+  produced;
+* failures are injectable for tests: the ``REPRO_SHARD_FAILURE`` env var
+  (comma-separated shard indexes) or a ``failure_hook`` constructor arg
+  kills chosen shards deterministically on their first attempt.
+
+Workers also ship their metrics snapshot (:mod:`repro.observability`) back
+alongside the sketch payload; the parent folds the snapshots into the
+process-global registry, so per-shard wall times and worker-side batch
+counters survive the process boundary just like the sketches do.
 
 Semantics caveat (inherited from :meth:`ItemsetState.merge`): the sticky
 violation semantics are order-*dependent* — a confidence dip that is only
@@ -26,13 +44,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Sequence
+import time
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.estimator import ImplicationCountEstimator
+from ..observability import metrics as obs
 
-__all__ = ["ShardedIngestor", "available_workers"]
+__all__ = ["ShardedIngestor", "ShardFailure", "available_workers"]
+
+#: Env var naming shard indexes that fail their first attempt (tests).
+FAILURE_ENV = "REPRO_SHARD_FAILURE"
 
 
 def available_workers() -> int:
@@ -40,19 +63,64 @@ def available_workers() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+class ShardFailure(RuntimeError):
+    """A shard worker failed (naturally or via injection)."""
+
+
+def _injected_failure_shards() -> frozenset[int]:
+    """Shard indexes the ``REPRO_SHARD_FAILURE`` env var marks for failure."""
+    raw = os.environ.get(FAILURE_ENV, "").strip()
+    if not raw:
+        return frozenset()
+    try:
+        return frozenset(int(field) for field in raw.split(",") if field.strip())
+    except ValueError:
+        raise ValueError(
+            f"{FAILURE_ENV} must be comma-separated shard indexes, got {raw!r}"
+        ) from None
+
+
 def _ingest_shard(
-    args: tuple[bytes, np.ndarray, np.ndarray, bool, bool],
-) -> bytes:
+    args: tuple,
+) -> tuple[bytes, dict]:
     """Worker body: rebuild the sibling template, ingest, serialize back.
 
     Module-level so it works under both the ``fork`` and ``spawn`` start
     methods.  The estimator crosses the process boundary in the versioned
-    wire format only — never pickled.
+    wire format only — never pickled — and the return value pairs the
+    sketch payload with the worker's metrics snapshot (scoped to this job,
+    so a forked child never re-ships counts inherited from the parent).
+
+    Failure injection runs *before* any work: an injected shard behaves
+    like a worker that died on arrival, and the retry (``attempt >= 1``)
+    re-ingests from scratch.
     """
-    template_payload, lhs, rhs, aggregate, grouped = args
-    estimator = ImplicationCountEstimator.from_bytes(template_payload)
-    estimator.update_batch(lhs, rhs, aggregate=aggregate, grouped=grouped)
-    return estimator.to_bytes()
+    (
+        shard_index,
+        attempt,
+        template_payload,
+        lhs,
+        rhs,
+        aggregate,
+        grouped,
+        failure_hook,
+    ) = args
+    if attempt == 0 and shard_index in _injected_failure_shards():
+        raise ShardFailure(
+            f"injected failure for shard {shard_index} (attempt {attempt})"
+        )
+    if failure_hook is not None:
+        failure_hook(shard_index, attempt)
+    with obs.scoped_registry() as registry:
+        started = time.perf_counter()
+        estimator = ImplicationCountEstimator.from_bytes(template_payload)
+        estimator.update_batch(lhs, rhs, aggregate=aggregate, grouped=grouped)
+        payload = estimator.to_bytes()
+        registry.histogram("sharded.shard_seconds").observe(
+            time.perf_counter() - started
+        )
+        registry.counter("sharded.shard_tuples").add(len(lhs))
+        return payload, registry.snapshot()
 
 
 class ShardedIngestor:
@@ -65,24 +133,48 @@ class ShardedIngestor:
         The template itself is never mutated — every shard gets a fresh
         :meth:`~ImplicationCountEstimator.spawn_sibling`.
     workers:
-        Number of shards / worker processes.  ``1`` ingests serially in
-        the calling process (no subprocess overhead), which is also the
-        fallback whenever process pools are unavailable.
+        Number of shards.  ``1`` ingests serially in the calling process
+        (no subprocess overhead), which is also the fallback whenever
+        process pools are unavailable.  The pool itself never exceeds
+        :func:`available_workers` processes regardless of the shard count.
+    job_timeout:
+        Seconds to wait for each shard job before declaring it dead and
+        re-ingesting that shard serially.  ``None`` (default) waits
+        indefinitely — set a timeout whenever workers can be killed out
+        from under the pool (a killed worker's result never arrives, so
+        without a timeout the parent would wait forever).
+    failure_hook:
+        ``hook(shard_index, attempt)`` called at the top of every shard
+        job; raise from it (or sleep past ``job_timeout``) to simulate a
+        worker death deterministically.  Shard jobs are shipped to the
+        pool by pickling, so the hook must be a picklable top-level
+        callable; the ``REPRO_SHARD_FAILURE`` env var (comma-separated
+        shard indexes, first attempt only) is the pickling-free
+        alternative.
 
     Examples
     --------
-    >>> ingestor = ShardedIngestor(template, workers=4)
+    >>> ingestor = ShardedIngestor(template, workers=4, job_timeout=60.0)
     >>> merged = ingestor.ingest(lhs, rhs)
     >>> merged.implication_count()  # doctest: +SKIP
     """
 
     def __init__(
-        self, template: ImplicationCountEstimator, workers: int = 1
+        self,
+        template: ImplicationCountEstimator,
+        workers: int = 1,
+        *,
+        job_timeout: float | None = None,
+        failure_hook: Callable[[int, int], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be positive, got {job_timeout}")
         self.template = template
         self.workers = workers
+        self.job_timeout = job_timeout
+        self.failure_hook = failure_hook
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -118,17 +210,30 @@ class ShardedIngestor:
         shards = self._split(lhs, rhs)
         template_payload = self.template.spawn_sibling().to_bytes()
         jobs = [
-            (template_payload, shard_lhs, shard_rhs, aggregate, grouped)
-            for shard_lhs, shard_rhs in shards
+            (
+                index,
+                0,
+                template_payload,
+                shard_lhs,
+                shard_rhs,
+                aggregate,
+                grouped,
+                self.failure_hook,
+            )
+            for index, (shard_lhs, shard_rhs) in enumerate(shards)
         ]
+        registry = obs.get_registry()
+        registry.counter("sharded.ingests").add(1)
+        registry.counter("sharded.jobs").add(len(jobs))
         if len(jobs) == 1:
-            payloads = [_ingest_shard(jobs[0])]
+            results = [self._run_serial(jobs[0])]
         else:
-            payloads = self._run_pool(jobs)
-        return [
-            (f"shard-{index}", payload)
-            for index, payload in enumerate(payloads)
-        ]
+            results = self._run_pool(jobs)
+        payloads = []
+        for index, (payload, worker_snapshot) in enumerate(results):
+            registry.merge_snapshot(worker_snapshot)
+            payloads.append((f"shard-{index}", payload))
+        return payloads
 
     def ingest(
         self,
@@ -162,16 +267,67 @@ class ShardedIngestor:
             )
         )
 
-    def _run_pool(self, jobs: Sequence[tuple]) -> list[bytes]:
-        """Run shard jobs in a process pool, serially as a last resort."""
+    def _pool_processes(self, job_count: int) -> int:
+        """Pool size: one process per shard, capped at the machine's cores."""
+        return max(min(job_count, available_workers()), 1)
+
+    def _retry_serially(self, job: tuple, error: BaseException) -> tuple[bytes, dict]:
+        """Second (and last) attempt for a failed shard, in the parent.
+
+        Serial re-ingest is deterministic — same template payload, same
+        rows — so the merged result is bit-for-bit identical to a run where
+        the worker never failed.  A second failure is terminal.
+        """
+        registry = obs.get_registry()
+        registry.counter("sharded.shard_failures").add(1)
+        registry.counter("sharded.shard_retries").add(1)
+        shard_index = job[0]
+        retry_job = (shard_index, 1, *job[2:])
+        try:
+            return _ingest_shard(retry_job)
+        except Exception as retry_error:  # pragma: no cover - double fault
+            raise ShardFailure(
+                f"shard {shard_index} failed twice: first {error!r}, "
+                f"then {retry_error!r}"
+            ) from retry_error
+
+    def _run_serial(self, job: tuple) -> tuple[bytes, dict]:
+        """Run one shard in-process, with the same one-retry contract."""
+        try:
+            return _ingest_shard(job)
+        except Exception as error:
+            return self._retry_serially(job, error)
+
+    def _run_pool(self, jobs: Sequence[tuple]) -> list[tuple[bytes, dict]]:
+        """Run shard jobs in a process pool; failed shards retry serially.
+
+        Each job is submitted independently (``apply_async``) so one dead
+        worker only costs its own shard: the shard is re-ingested in the
+        parent and every healthy worker's result is kept.  When no pool can
+        be created at all (no ``/dev/shm``, sandboxed fork, …) the same
+        split/ship/merge pipeline runs serially.
+        """
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
             context = multiprocessing.get_context()
         try:
-            with context.Pool(processes=len(jobs)) as pool:
-                return pool.map(_ingest_shard, jobs)
+            with context.Pool(processes=self._pool_processes(len(jobs))) as pool:
+                handles = [
+                    pool.apply_async(_ingest_shard, (job,)) for job in jobs
+                ]
+                results: list[tuple[bytes, dict] | None] = [None] * len(jobs)
+                failures: list[tuple[int, BaseException]] = []
+                for index, handle in enumerate(handles):
+                    try:
+                        results[index] = handle.get(timeout=self.job_timeout)
+                    except Exception as error:
+                        # multiprocessing.TimeoutError (job overran its
+                        # budget) or the exception the worker died with.
+                        failures.append((index, error))
         except (OSError, RuntimeError):  # pragma: no cover - no subprocesses
-            # Constrained environments (no /dev/shm, sandboxed fork, …):
-            # keep the same split/ship/merge pipeline, just serially.
-            return [_ingest_shard(job) for job in jobs]
+            # Constrained environments: keep the pipeline, just serially.
+            return [self._run_serial(job) for job in jobs]
+        for index, error in failures:
+            results[index] = self._retry_serially(jobs[index], error)
+        return results  # type: ignore[return-value]

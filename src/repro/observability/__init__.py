@@ -1,0 +1,30 @@
+"""Observability for the ingest stack: metrics registry and exports.
+
+See :mod:`repro.observability.metrics` for the registry itself.  The hot
+paths (:meth:`ImplicationCountEstimator.update_batch`, the sharded engine,
+the coordinator, the wire format) instrument themselves against the
+process-global registry; ``repro-experiments throughput --metrics-json
+PATH`` exports the collected metrics after a run.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    scoped_registry,
+    set_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "scoped_registry",
+    "set_registry",
+]

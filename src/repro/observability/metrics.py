@@ -1,0 +1,308 @@
+"""Dependency-free metrics: counters, gauges and simple histograms.
+
+The paper's constrained environments (Section 1) ship *sketches* because
+tuples are too expensive to move; the same logic applies to telemetry.  A
+:class:`MetricsRegistry` is a tiny in-process accumulator whose whole state
+snapshots to a flat JSON-able dict, so a shard worker can ship its metrics
+back to the parent alongside its sketch payload and the parent folds them
+with :meth:`MetricsRegistry.merge_snapshot` — exactly the snapshot/merge
+shape the estimators themselves use.
+
+Design constraints:
+
+* **No dependencies** — stdlib only, importable from the innermost hot
+  paths without cycles (this module imports nothing from :mod:`repro`).
+* **Cheap updates** — a counter ``add`` is one attribute increment; hot
+  paths instrument at batch/segment/group granularity, never per tuple,
+  keeping the measured overhead of the layer within noise (the acceptance
+  bound is <= 5% on the full batch engine).
+* **Swappable global** — instrumented code resolves the active registry
+  through :func:`get_registry` at call time, so a shard worker can install
+  a fresh registry for the duration of its job (:func:`scoped_registry`)
+  and ship back *only* what that job did, even under the ``fork`` start
+  method where the child inherits the parent's counts.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+    "scoped_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing count (merges by summation)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """Point-in-time value (merges by last-write-wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Summary histogram: count / sum / min / max (merges exactly).
+
+    Deliberately bucket-free — the engine's distributions of interest
+    (payload sizes, shard wall times) are low-cardinality enough that
+    count+sum+extrema answer the operational questions (mean, spread,
+    worst case) without per-histogram configuration.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"mean={self.mean:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Named metrics with snapshot/merge semantics.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create by name; a name
+    belongs to exactly one metric type (reusing it with another type
+    raises).  :meth:`snapshot` produces a plain dict that round-trips
+    through JSON, and :meth:`merge_snapshot` folds such a dict in —
+    counters add, histograms combine, gauges take the incoming value.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} is already a {other_kind}, "
+                    f"cannot reuse it as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._claim(name, "counter")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._claim(name, "gauge")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._claim(name, "histogram")
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / merge (the shard-worker shipping format)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Flat JSON-able state (the wire form shard workers ship back)."""
+        return {
+            "counters": {
+                name: metric.value for name, metric in self._counters.items()
+            },
+            "gauges": {
+                name: metric.value for name, metric in self._gauges.items()
+            },
+            "histograms": {
+                name: {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.minimum,
+                    "max": metric.maximum,
+                }
+                for name, metric in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count <= 0:
+                continue
+            histogram.count += count
+            histogram.total += float(summary.get("sum", 0.0))
+            for extremum, pick in (("min", min), ("max", max)):
+                incoming = summary.get(extremum)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, "minimum" if extremum == "min" else "maximum")
+                merged = incoming if current is None else pick(current, incoming)
+                setattr(
+                    histogram,
+                    "minimum" if extremum == "min" else "maximum",
+                    merged,
+                )
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document (``--metrics-json`` output)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable text table of every metric, sorted by name."""
+        rows: list[tuple[str, str, str]] = []
+        for name in sorted(self._counters):
+            rows.append((name, "counter", f"{self._counters[name].value:,}"))
+        for name in sorted(self._gauges):
+            rows.append((name, "gauge", f"{self._gauges[name].value:,.6g}"))
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            rows.append(
+                (
+                    name,
+                    "histogram",
+                    f"n={histogram.count} mean={histogram.mean:,.6g} "
+                    f"min={histogram.minimum if histogram.minimum is not None else '-'} "
+                    f"max={histogram.maximum if histogram.maximum is not None else '-'}",
+                )
+            )
+        if not rows:
+            return "(no metrics recorded)"
+        headers = ("metric", "type", "value")
+        widths = [
+            max(len(headers[column]), *(len(row[column]) for row in rows))
+            for column in range(3)
+        ]
+        lines = [
+            "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        lines.extend(
+            "  ".join(field.ljust(width) for field, width in zip(row, widths))
+            for row in rows
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# The process-global registry
+# --------------------------------------------------------------------- #
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry — instrumented code resolves this at call time."""
+    return _GLOBAL
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install a fresh, empty registry (convenience for CLI runs / tests)."""
+    return set_registry(MetricsRegistry())
+
+
+@contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Temporarily make ``registry`` (default: a fresh one) the active one.
+
+    Shard workers wrap their whole job in this so the snapshot they ship
+    back contains only that job's activity — even under ``fork``, where the
+    child process inherits the parent's registry state.
+    """
+    active = MetricsRegistry() if registry is None else registry
+    previous = set_registry(active)
+    try:
+        yield active
+    finally:
+        set_registry(previous)

@@ -80,6 +80,108 @@ class TestCoordinator:
         assert coordinator.bytes_received == sum(n.bytes_sent for n in nodes)
 
 
+class TestCoordinatorQuarantine:
+    def test_corrupt_payload_rejected_and_counted(self):
+        __, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        assert coordinator.receive("evil", b"NIPS\x01garbage") is False
+        assert coordinator.node_count == 0
+        assert coordinator.rejected_payloads == {"evil": 1}
+        assert "corrupt payload" in coordinator.rejection_reasons["evil"]
+
+    def test_truncated_payload_rejected(self):
+        __, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        good = nodes[0].snapshot()
+        assert coordinator.receive("node-0", good[: len(good) // 2]) is False
+        assert coordinator.node_count == 0
+
+    def test_geometry_incompatible_payload_rejected(self):
+        data, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        alien = ImplicationCountEstimator(
+            data.conditions, num_bitmaps=16, seed=99
+        )
+        assert coordinator.receive("alien", alien.to_bytes()) is False
+        assert coordinator.rejected_payloads == {"alien": 1}
+        assert "geometry-incompatible" in coordinator.rejection_reasons["alien"]
+
+    def test_bad_snapshot_never_poisons_merged_estimator(self):
+        """The acceptance property: quarantine leaves the merge untouched."""
+        data, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        coordinator.sync(nodes)
+        before_bytes = coordinator.bytes_received
+        before = coordinator.merged_estimator().to_bytes()
+        # A corrupt re-send from a known node and junk from a stranger.
+        good = nodes[0].snapshot()
+        mangled = good[:40] + bytes(reversed(good[40:80])) + good[80:]
+        assert coordinator.receive(nodes[0].name, mangled) is False
+        assert coordinator.receive("stranger", b"\x00" * 64) is False
+        assert coordinator.merged_estimator().to_bytes() == before
+        assert coordinator.bytes_received == before_bytes
+        assert coordinator.node_count == 4
+
+    def test_node_recovers_after_quarantine(self):
+        """A later good snapshot from a quarantined node is accepted."""
+        __, template, nodes = make_setup()
+        coordinator = Coordinator(template)
+        assert coordinator.receive(nodes[0].name, b"junk") is False
+        assert coordinator.receive(nodes[0].name, nodes[0].snapshot()) is True
+        assert coordinator.node_count == 1
+        assert coordinator.rejected_payloads[nodes[0].name] == 1
+
+
+class TestIngestShardedEpochs:
+    def test_second_ingest_does_not_replace_first(self):
+        """Regression: shard names were reused across calls, so the second
+        stream's snapshots silently replaced the first's."""
+        data, template, __ = make_setup()
+        half = len(data.lhs) // 2
+        coordinator = Coordinator(template)
+        coordinator.ingest_sharded(data.lhs[:half], data.rhs[:half], workers=2)
+        coordinator.ingest_sharded(data.lhs[half:], data.rhs[half:], workers=2)
+        assert coordinator.node_count == 4  # 2 epochs x 2 shards
+        merged = coordinator.merged_estimator()
+        assert merged.tuples_seen == len(data.lhs)
+
+    def test_epoch_namespacing_matches_single_ingest(self):
+        """Two half-stream calls must agree with one full-stream call on
+        the mergeable statistics."""
+        data, template, __ = make_setup(seed=8)
+        half = len(data.lhs) // 2
+        split = Coordinator(template)
+        split.ingest_sharded(data.lhs[:half], data.rhs[:half], workers=2)
+        split.ingest_sharded(data.lhs[half:], data.rhs[half:], workers=2)
+        whole = Coordinator(template)
+        whole.ingest_sharded(data.lhs, data.rhs, workers=4)
+        assert split.supported_distinct_count() == pytest.approx(
+            whole.supported_distinct_count(), rel=0.2
+        )
+
+    def test_flags_passed_through(self):
+        """aggregate/grouped reach the shard workers: scalar-replay mode
+        must match a serial scalar-replay reference shard-for-shard."""
+        from repro.engine import ShardedIngestor
+
+        data, template, __ = make_setup(seed=12)
+        coordinator = Coordinator(template)
+        coordinator.ingest_sharded(
+            data.lhs, data.rhs, workers=2, aggregate=False, grouped=False
+        )
+        reference = ShardedIngestor(template, workers=2)
+        expected = dict(
+            reference.ingest_payloads(
+                data.lhs, data.rhs, aggregate=False, grouped=False
+            )
+        )
+        stored = {
+            name.split("/")[-1]: payload
+            for name, payload in coordinator._latest.items()
+        }
+        assert stored == expected
+
+
 class TestAggregationTree:
     def test_validation(self):
         __, template, nodes = make_setup()

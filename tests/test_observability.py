@@ -1,0 +1,184 @@
+"""Tests for the observability layer (metrics registry + instrumentation)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ImplicationCountEstimator
+from repro.datasets.synthetic import generate_dataset_one
+from repro.engine import ShardedIngestor
+from repro.observability import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    scoped_registry,
+    set_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    """A fresh global registry for the duration of one test."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self, registry):
+        registry.counter("x").add()
+        registry.counter("x").add(4)
+        assert registry.counter("x").value == 5
+
+    def test_gauge_last_write_wins(self, registry):
+        registry.gauge("g").set(3.0)
+        registry.gauge("g").set(1.5)
+        assert registry.gauge("g").value == 1.5
+
+    def test_histogram_summary(self, registry):
+        histogram = registry.histogram("h")
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 8.0
+        assert histogram.mean == 5.0
+
+    def test_name_cannot_change_type(self, registry):
+        registry.counter("metric")
+        with pytest.raises(ValueError):
+            registry.gauge("metric")
+        with pytest.raises(ValueError):
+            registry.histogram("metric")
+
+    def test_snapshot_roundtrips_through_json(self, registry):
+        registry.counter("c").add(7)
+        registry.gauge("g").set(0.25)
+        registry.histogram("h").observe(3.0)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        other = MetricsRegistry()
+        other.merge_snapshot(snapshot)
+        assert other.snapshot() == registry.snapshot()
+
+    def test_merge_snapshot_combines(self, registry):
+        registry.counter("c").add(2)
+        registry.histogram("h").observe(1.0)
+        incoming = MetricsRegistry()
+        incoming.counter("c").add(3)
+        incoming.histogram("h").observe(9.0)
+        registry.merge_snapshot(incoming.snapshot())
+        assert registry.counter("c").value == 5
+        assert registry.histogram("h").count == 2
+        assert registry.histogram("h").maximum == 9.0
+        assert registry.histogram("h").minimum == 1.0
+
+    def test_merge_empty_histogram_is_noop(self, registry):
+        registry.histogram("h").observe(4.0)
+        registry.merge_snapshot(MetricsRegistry().snapshot())
+        empty = MetricsRegistry()
+        empty.histogram("h")  # registered but never observed
+        registry.merge_snapshot(empty.snapshot())
+        assert registry.histogram("h").count == 1
+        assert registry.histogram("h").minimum == 4.0
+
+    def test_render_lists_every_metric(self, registry):
+        registry.counter("ingest.tuples").add(10)
+        registry.gauge("depth").set(2)
+        registry.histogram("bytes").observe(100.0)
+        table = registry.render()
+        for name in ("ingest.tuples", "depth", "bytes"):
+            assert name in table
+
+    def test_render_empty(self, registry):
+        assert "no metrics" in registry.render()
+
+    def test_scoped_registry_restores(self, registry):
+        registry.counter("outer").add(1)
+        with scoped_registry() as inner:
+            get_registry().counter("inner").add(1)
+            assert inner.counter("inner").value == 1
+            assert inner.counter("outer").value == 0
+        assert get_registry() is registry
+        assert registry.counter("inner").value == 0
+
+    def test_reset_registry_installs_fresh(self, registry):
+        registry.counter("x").add(1)
+        reset_registry()
+        try:
+            assert get_registry().counter("x").value == 0
+        finally:
+            set_registry(registry)
+
+
+class TestInstrumentation:
+    def test_update_batch_counts_tuples_and_dispatch(self, registry):
+        data = generate_dataset_one(300, 150, c=1, seed=9)
+        estimator = ImplicationCountEstimator(data.conditions, seed=9)
+        estimator.update_batch(data.lhs, data.rhs)
+        assert registry.counter("ingest.batches").value == 1
+        assert registry.counter("ingest.tuples").value == len(data.lhs)
+        assert registry.counter("batch.blocks").value >= 1
+        assert registry.counter("batch.segments").value >= 1
+        assert registry.counter("batch.groups").value >= 1
+        # The head of a stream always floats fringes rightward.
+        assert registry.counter("nips.fringe_floats").value >= 1
+
+    def test_serialize_metrics(self, registry):
+        data = generate_dataset_one(200, 100, c=1, seed=3)
+        estimator = ImplicationCountEstimator(data.conditions, seed=3)
+        estimator.update_batch(data.lhs, data.rhs)
+        payload = estimator.to_bytes()
+        ImplicationCountEstimator.from_bytes(payload)
+        assert registry.counter("serialize.encoded").value == 1
+        assert registry.counter("serialize.decoded").value == 1
+        histogram = registry.histogram("serialize.payload_bytes")
+        assert histogram.count == 1
+        assert histogram.maximum == len(payload)
+
+    def test_sharded_run_ships_worker_metrics(self, registry):
+        data = generate_dataset_one(300, 150, c=1, seed=4)
+        template = ImplicationCountEstimator(data.conditions, seed=4)
+        ingestor = ShardedIngestor(template, workers=2)
+        ingestor.ingest(data.lhs, data.rhs)
+        assert registry.counter("sharded.ingests").value == 1
+        assert registry.counter("sharded.jobs").value == 2
+        # Worker-side metrics crossed the process boundary: one wall-time
+        # observation and one tuple count per shard.
+        assert registry.histogram("sharded.shard_seconds").count == 2
+        assert registry.counter("sharded.shard_tuples").value == len(data.lhs)
+        # Worker-side batch counters merged too (both shards ran the
+        # batch engine on their half of the stream).
+        assert registry.counter("ingest.tuples").value == len(data.lhs)
+
+
+class TestCliExport:
+    def test_metrics_json_written(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["throughput", "--workers", "1", "--metrics-json", str(target)]
+        ) == 0
+        exported = json.loads(target.read_text())
+        assert exported["counters"]["ingest.tuples"] > 0
+        assert "sharded.shard_seconds" in exported["histograms"]
+        out = capsys.readouterr().out
+        assert "ingest.tuples" in out  # text table printed alongside
+
+    def test_metrics_json_rejects_missing_directory(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "throughput",
+                    "--metrics-json",
+                    "/nonexistent-dir-xyz/metrics.json",
+                ]
+            )

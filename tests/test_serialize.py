@@ -123,6 +123,168 @@ class TestEstimatorRoundtrip:
         assert repr(restored.hash_function) == repr(estimator.hash_function)
 
 
+class TestHashSerialization:
+    def test_subclass_rejected_with_clear_message(self):
+        """Regression: a hash subclass used to fail with a generic
+        'cannot serialize' — it must name the base family and say why."""
+        from repro.sketch.hashing import SplitMix64Hash
+
+        class TweakedSplitMix(SplitMix64Hash):
+            pass
+
+        conditions = ImplicationConditions(max_multiplicity=1)
+        estimator = ImplicationCountEstimator(
+            conditions, num_bitmaps=8, hash_function=TweakedSplitMix(7)
+        )
+        with pytest.raises(SketchFormatError) as excinfo:
+            estimator.to_bytes()
+        message = str(excinfo.value)
+        assert "TweakedSplitMix" in message
+        assert "subclass" in message
+        assert "SplitMix64Hash" in message
+
+    def test_malformed_hash_payloads(self):
+        from repro.core.serialize import _hash_from_dict
+
+        for payload in (None, [], {}, {"kind": "splitmix"}, {"kind": 42},
+                        {"kind": "splitmix", "seed": "abc"}):
+            with pytest.raises(SketchFormatError):
+                _hash_from_dict(payload)
+
+
+class TestFuzzedPayloads:
+    """Acceptance: malformed payloads only ever raise SketchFormatError."""
+
+    @staticmethod
+    def assert_only_format_errors(payload: bytes):
+        try:
+            estimator_from_bytes(payload)
+        except SketchFormatError:
+            pass  # the promised failure mode
+        # Any other exception type propagates and fails the test.
+
+    def test_truncations(self):
+        payload = loaded_estimator().to_bytes()
+        for cut in (0, 1, 4, 5, 6, len(payload) // 2, len(payload) - 1):
+            self.assert_only_format_errors(payload[:cut])
+
+    def test_bit_flips(self):
+        import random
+
+        payload = loaded_estimator().to_bytes()
+        rng = random.Random(1234)
+        for _ in range(200):
+            index = rng.randrange(len(payload))
+            bit = 1 << rng.randrange(8)
+            mutated = bytearray(payload)
+            mutated[index] ^= bit
+            self.assert_only_format_errors(bytes(mutated))
+
+    def test_random_bytes(self):
+        import random
+
+        rng = random.Random(99)
+        for length in (0, 1, 5, 64, 4096):
+            self.assert_only_format_errors(rng.randbytes(length))
+
+    def test_valid_header_malformed_bodies(self):
+        """Decompressible-but-wrong JSON bodies: the regression class —
+        these used to escape as raw KeyError/TypeError."""
+        import json
+        import zlib
+
+        def wrap(document) -> bytes:
+            body = json.dumps(document).encode("utf-8")
+            return b"NIPS" + bytes([1]) + zlib.compress(body)
+
+        reference = estimator_to_dict(loaded_estimator())
+        bodies = [
+            None,
+            [],
+            42,
+            "a string",
+            {},
+            {"version": 1},
+            {**reference, "num_bitmaps": "sixty-four"},
+            {**reference, "num_bitmaps": -8},
+            {**reference, "length": -1},
+            {**reference, "length": 10_000},
+            {**reference, "fringe_size": -4},
+            {**reference, "capacity_slack": 0},
+            {**reference, "tuples_seen": -1},
+            {**reference, "hash": None},
+            {**reference, "hash": {"kind": "md5", "seed": 0}},
+            {**reference, "conditions": None},
+            {**reference, "conditions": {"bogus_field": 1}},
+            {**reference, "bitmaps": None},
+            {**reference, "bitmaps": reference["bitmaps"][:1]},
+            {**reference, "bitmaps": [None] * len(reference["bitmaps"])},
+            {**reference, "bitmaps": [{}] * len(reference["bitmaps"])},
+        ]
+        for document in bodies:
+            with pytest.raises(SketchFormatError):
+                estimator_from_bytes(wrap(document))
+
+    def test_out_of_range_bitmap_fields(self):
+        """Geometry validation inside bitmap payloads."""
+        import copy
+
+        base = estimator_to_dict(loaded_estimator())
+        length = base["length"]
+        mutations = [
+            {"fringe_start": -3},
+            {"fringe_start": length + 5},
+            {"rightmost_hashed": length},
+            {"rightmost_hashed": -2},
+            {"tuples_seen": -7},
+            {"value_one": [length + 1]},
+            {"value_one": ["x"]},
+            {"value_one": 3},
+            {"cells": [[length + 9, []]]},
+            {"cells": [[-1, []]]},
+            {"cells": "not-a-list"},
+            {"cells": [[0, [[{"i": "1"}, [-5, False, False, None]]]]]},
+            {"cells": [[0, [[{"i": "1"}, ["NaNsense", False, False, None]]]]]},
+            {"cells": [[0, [[{"zz": 1}, [1, False, False, None]]]]]},
+        ]
+        for mutation in mutations:
+            mutated = copy.deepcopy(base)
+            mutated["bitmaps"][0] = {**mutated["bitmaps"][0], **mutation}
+            with pytest.raises(SketchFormatError):
+                estimator_from_dict(mutated)
+
+    def test_mutated_dict_fuzzing(self):
+        """Randomly delete/retype top-level and bitmap fields; only
+        SketchFormatError (or a clean parse) may result."""
+        import copy
+        import random
+
+        rng = random.Random(7)
+        junk_values = [None, -1, "junk", [], {}, 3.5, True]
+        base = estimator_to_dict(loaded_estimator(seed=1))
+        for _ in range(120):
+            snapshot = copy.deepcopy(base)
+            for _ in range(rng.randrange(1, 4)):
+                if rng.random() < 0.5:
+                    key = rng.choice(list(snapshot))
+                    if rng.random() < 0.5:
+                        del snapshot[key]
+                    else:
+                        snapshot[key] = rng.choice(junk_values)
+                else:
+                    bitmaps = snapshot.get("bitmaps")
+                    if not isinstance(bitmaps, list) or not bitmaps:
+                        continue
+                    bitmap = rng.choice(bitmaps)
+                    if isinstance(bitmap, dict) and bitmap:
+                        key = rng.choice(list(bitmap))
+                        bitmap[key] = rng.choice(junk_values)
+            try:
+                estimator_from_dict(snapshot)
+            except SketchFormatError:
+                pass
+
+
 class TestFormatValidation:
     def test_bad_magic(self):
         with pytest.raises(SketchFormatError):

@@ -1,0 +1,188 @@
+"""Fault-tolerance tests for the sharded ingest engine.
+
+The injectable failure mechanisms (``REPRO_SHARD_FAILURE`` env var and the
+``failure_hook`` constructor arg) let these tests kill chosen shard workers
+deterministically and assert the retry contract: only the failed shards are
+re-ingested, and the merged estimator is bit-for-bit identical to a run
+where nothing failed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.estimator import ImplicationCountEstimator
+from repro.datasets.synthetic import generate_dataset_one
+from repro.engine import ShardedIngestor, ShardFailure, available_workers
+from repro.engine import sharded as sharded_module
+from repro.observability import MetricsRegistry, set_registry
+
+
+def _pool_available() -> bool:
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=1) as pool:
+            pool.map(abs, [1])
+        return True
+    except (ValueError, OSError, RuntimeError):
+        return False
+
+
+POOL_AVAILABLE = _pool_available()
+
+
+# Hooks must be module-level: shard jobs (hook included) are pickled into
+# the pool's task queue.
+def _kill_shard_one_first_attempt(shard_index: int, attempt: int) -> None:
+    if shard_index == 1 and attempt == 0:
+        raise RuntimeError("injected worker death (shard 1)")
+
+
+def _kill_shard_zero_always(shard_index: int, attempt: int) -> None:
+    if shard_index == 0:
+        raise RuntimeError("injected repeated worker death (shard 0)")
+
+
+def _hang_shard_zero_first_attempt(shard_index: int, attempt: int) -> None:
+    if shard_index == 0 and attempt == 0:
+        time.sleep(30.0)
+
+
+@pytest.fixture()
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def make_stream(seed: int = 11):
+    data = generate_dataset_one(400, 200, c=1, seed=seed)
+    template = ImplicationCountEstimator(data.conditions, seed=seed)
+    return data, template
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        __, template = make_stream()
+        with pytest.raises(ValueError):
+            ShardedIngestor(template, workers=0)
+
+    def test_job_timeout_must_be_positive(self):
+        __, template = make_stream()
+        with pytest.raises(ValueError):
+            ShardedIngestor(template, workers=2, job_timeout=0)
+
+
+class TestPoolSizing:
+    def test_pool_capped_at_available_workers(self, monkeypatch):
+        """More shards than cores must not spawn one process per shard."""
+        __, template = make_stream()
+        ingestor = ShardedIngestor(template, workers=64)
+        monkeypatch.setattr(sharded_module, "available_workers", lambda: 2)
+        assert ingestor._pool_processes(64) == 2
+        assert ingestor._pool_processes(1) == 1
+
+    def test_pool_cap_does_not_change_results(self, monkeypatch):
+        """The split depends on the shard count only, so queueing shards on
+        a smaller pool (workers >> cores) must be bit-for-bit neutral."""
+        data, template = make_stream(seed=21)
+        ingestor = ShardedIngestor(template, workers=6)
+        wide = ingestor.ingest(data.lhs, data.rhs)
+        monkeypatch.setattr(sharded_module, "available_workers", lambda: 1)
+        narrow = ingestor.ingest(data.lhs, data.rhs)
+        assert narrow.to_bytes() == wide.to_bytes()
+
+
+class TestInjectedFailures:
+    def test_env_var_failure_retries_bit_for_bit(self, monkeypatch, registry):
+        """Acceptance: shard N killed once -> retry -> identical result."""
+        data, template = make_stream(seed=13)
+        ingestor = ShardedIngestor(template, workers=3)
+        monkeypatch.delenv(sharded_module.FAILURE_ENV, raising=False)
+        clean = ingestor.ingest(data.lhs, data.rhs)
+        monkeypatch.setenv(sharded_module.FAILURE_ENV, "1")
+        recovered = ingestor.ingest(data.lhs, data.rhs)
+        assert recovered.to_bytes() == clean.to_bytes()
+        assert registry.counter("sharded.shard_retries").value == 1
+        assert registry.counter("sharded.shard_failures").value == 1
+
+    def test_every_shard_failing_once_still_completes(self, monkeypatch, registry):
+        data, template = make_stream(seed=17)
+        ingestor = ShardedIngestor(template, workers=3)
+        monkeypatch.delenv(sharded_module.FAILURE_ENV, raising=False)
+        clean = ingestor.ingest(data.lhs, data.rhs)
+        monkeypatch.setenv(sharded_module.FAILURE_ENV, "0,1,2")
+        recovered = ingestor.ingest(data.lhs, data.rhs)
+        assert recovered.to_bytes() == clean.to_bytes()
+        assert registry.counter("sharded.shard_retries").value == 3
+
+    def test_failure_hook_retries_bit_for_bit(self, registry):
+        data, template = make_stream(seed=19)
+        clean = ShardedIngestor(template, workers=2).ingest(data.lhs, data.rhs)
+        flaky = ShardedIngestor(
+            template, workers=2, failure_hook=_kill_shard_one_first_attempt
+        )
+        recovered = flaky.ingest(data.lhs, data.rhs)
+        assert recovered.to_bytes() == clean.to_bytes()
+        assert registry.counter("sharded.shard_retries").value == 1
+
+    def test_second_failure_is_terminal(self):
+        data, template = make_stream(seed=23)
+        doomed = ShardedIngestor(
+            template, workers=2, failure_hook=_kill_shard_zero_always
+        )
+        with pytest.raises(ShardFailure, match="failed twice"):
+            doomed.ingest(data.lhs, data.rhs)
+
+    def test_only_failed_shard_is_retried(self, monkeypatch, registry):
+        """The healthy shards' pool results are kept, not recomputed."""
+        data, template = make_stream(seed=29)
+        ingestor = ShardedIngestor(template, workers=4)
+        monkeypatch.setenv(sharded_module.FAILURE_ENV, "2")
+        ingestor.ingest(data.lhs, data.rhs)
+        # 4 shards attempted, exactly one retried: 5 completed jobs total
+        # would each have recorded a wall-time observation, but the killed
+        # attempt died before ingesting, so exactly 4 observations exist.
+        assert registry.histogram("sharded.shard_seconds").count == 4
+        assert registry.counter("sharded.shard_retries").value == 1
+
+    @pytest.mark.skipif(
+        not POOL_AVAILABLE, reason="no process pool in this environment"
+    )
+    def test_hung_worker_times_out_and_retries(self, registry):
+        """A worker sleeping past job_timeout is declared dead; the shard
+        re-ingests serially and the run completes."""
+        data, template = make_stream(seed=31)
+        clean = ShardedIngestor(template, workers=2).ingest(data.lhs, data.rhs)
+        hung = ShardedIngestor(
+            template,
+            workers=2,
+            job_timeout=1.0,
+            failure_hook=_hang_shard_zero_first_attempt,
+        )
+        started = time.perf_counter()
+        recovered = hung.ingest(data.lhs, data.rhs)
+        elapsed = time.perf_counter() - started
+        assert recovered.to_bytes() == clean.to_bytes()
+        # On a single-core pool the sleeper also blocks the healthy shard
+        # past its deadline, so up to both shards may retry serially.
+        assert registry.counter("sharded.shard_retries").value >= 1
+        # The 30s sleeper must have been abandoned, not waited out.
+        assert elapsed < 15.0
+
+
+class TestSingleWorkerPath:
+    def test_serial_ingest_also_retries(self, monkeypatch, registry):
+        """workers=1 runs in-process but honours the same retry contract."""
+        data, template = make_stream(seed=37)
+        ingestor = ShardedIngestor(template, workers=1)
+        monkeypatch.delenv(sharded_module.FAILURE_ENV, raising=False)
+        clean = ingestor.ingest(data.lhs, data.rhs)
+        monkeypatch.setenv(sharded_module.FAILURE_ENV, "0")
+        recovered = ingestor.ingest(data.lhs, data.rhs)
+        assert recovered.to_bytes() == clean.to_bytes()
+        assert registry.counter("sharded.shard_retries").value == 1
