@@ -39,9 +39,18 @@ class ExactImplicationCounter:
         self.tracker.observe(itemset, partner, weight)
         self.tuples_seen += weight
 
-    def update_many(self, pairs: Iterable[tuple[Hashable, Hashable]]) -> None:
-        for itemset, partner in pairs:
-            self.update(itemset, partner)
+    def update_many(
+        self,
+        pairs: Iterable[tuple[Hashable, Hashable]],
+        weights: Iterable[int] | None = None,
+    ) -> None:
+        """Record many pairs; ``weights`` mirrors the estimator's signature."""
+        if weights is None:
+            for itemset, partner in pairs:
+                self.update(itemset, partner)
+        else:
+            for (itemset, partner), weight in zip(pairs, weights, strict=True):
+                self.update(itemset, partner, weight)
 
     def update_batch(self, lhs: np.ndarray, rhs: np.ndarray) -> None:
         """Mirror of the estimator's vectorized entry point.

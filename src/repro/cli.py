@@ -6,6 +6,8 @@ Examples::
     repro-experiments figure7 --workload A
     repro-experiments table4
     repro-experiments ablation-fringe
+    repro-experiments verify --seed 7 --iterations 50
+    repro-experiments verify --replay batch-scalar-replay-seed7.json
     REPRO_SCALE=medium repro-experiments figure5
 
 Every command prints the same table its pytest bench prints; sizing comes
@@ -72,6 +74,14 @@ def _run_figure7(workload: str) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "verify":
+        # The verify subcommand owns its flag namespace (--seed, --replay,
+        # --mutate ...); dispatch before the experiment parser sees it.
+        from .verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=__doc__,
@@ -94,7 +104,11 @@ def main(argv: list[str] | None = None) -> int:
             "throughput",
             "all",
         ],
-        help="which paper artifact (or ablation) to regenerate",
+        help=(
+            "which paper artifact (or ablation) to regenerate; "
+            "'verify' runs the differential harness (see "
+            "'repro-experiments verify --help')"
+        ),
     )
     parser.add_argument(
         "--workload",

@@ -277,7 +277,14 @@ class ImplicationCountEstimator:
                 [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
             )
             block_counter.add(1)
-            live = np.nonzero(positions >= starts[indexes])[0]
+            keep = positions >= starts[indexes]
+            live = np.nonzero(keep)[0]
+            if live.size < positions.size:
+                # Zone-1 rows never reach the per-cell machinery, but the
+                # scalar loop counts them (update_at increments tuples_seen
+                # before its Zone-1 early-return) — credit the skipped rows
+                # here so per-bitmap accounting stays bit-identical.
+                self._credit_skipped(indexes[~keep], None)
             if live.size == 0:
                 continue
             live_counter.add(int(live.size))
@@ -300,6 +307,24 @@ class ImplicationCountEstimator:
             self._dispatch_block(
                 indexes, positions, block_lhs, block_rhs, weights, grouped
             )
+
+    def _credit_skipped(
+        self, indexes: np.ndarray, weights: np.ndarray | None
+    ) -> None:
+        """Add filtered-out rows to their bitmaps' ``tuples_seen``.
+
+        The Zone-1 filters drop rows before :meth:`NIPSBitmap.update_at` /
+        :meth:`NIPSBitmap.update_group` can count them; the scalar loop
+        counts every routed tuple, so the batch path must too for the two
+        to stay state-identical.
+        """
+        counts = np.bincount(
+            indexes.astype(np.int64),
+            weights=None if weights is None else weights.astype(np.float64),
+            minlength=self.num_bitmaps,
+        )
+        for index in np.flatnonzero(counts):
+            self.bitmaps[index].tuples_seen += int(counts[index])
 
     def _dispatch_block(
         self,
@@ -324,7 +349,16 @@ class ImplicationCountEstimator:
                 starts = np.array(
                     [bitmap.fringe_start for bitmap in bitmaps], dtype=np.uint8
                 )
-                alive = np.nonzero(positions >= starts[indexes])[0]
+                keep = positions >= starts[indexes]
+                alive = np.nonzero(keep)[0]
+                if alive.size < positions.size:
+                    # Same accounting as the block-level filter: a dropped
+                    # (possibly weighted) row still counts toward its
+                    # bitmap's tuples_seen, as per-tuple calls would.
+                    dropped_weights = (
+                        None if weights is None else weights[chunk][~keep]
+                    )
+                    self._credit_skipped(indexes[~keep], dropped_weights)
                 if alive.size == 0:
                     continue
                 if alive.size < positions.size:

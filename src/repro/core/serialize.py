@@ -19,6 +19,7 @@ meaningful (they must share the placement hash).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import zlib
 from typing import Hashable
@@ -42,6 +43,7 @@ __all__ = [
     "estimator_from_bytes",
     "estimator_to_dict",
     "estimator_from_dict",
+    "estimator_state_digest",
 ]
 
 _MAGIC = b"NIPS"
@@ -367,6 +369,32 @@ def estimator_from_dict(payload: dict) -> ImplicationCountEstimator:
     for bitmap, bitmap_payload in zip(estimator.bitmaps, bitmaps):
         _bitmap_restore(bitmap, bitmap_payload)
     return estimator
+
+
+def estimator_state_digest(estimator: ImplicationCountEstimator) -> str:
+    """Canonical SHA-256 digest of an estimator's complete logical state.
+
+    Two estimators digest equal **iff** they are logically identical:
+    same conditions, geometry, hash, tuple count, value bits, fringe
+    geometry, and per-cell itemset states (supports, partner counters,
+    sticky flags).  Itemset and partner *insertion order* — which can
+    legitimately differ between the scalar, grouped-batch and merge code
+    paths — is canonicalized away by sorting, so the digest compares
+    state, not dict history.  This is the equality the differential
+    harness (:mod:`repro.verify`) means by "bit-for-bit".
+    """
+    payload = estimator_to_dict(estimator)
+    for bitmap in payload["bitmaps"]:
+        for _, cell in bitmap["cells"]:
+            for entry in cell:
+                partners = entry[1][3]
+                if partners is not None:
+                    partners.sort(
+                        key=lambda pair: json.dumps(pair[0], sort_keys=True)
+                    )
+            cell.sort(key=lambda entry: json.dumps(entry[0], sort_keys=True))
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 def estimator_to_bytes(estimator: ImplicationCountEstimator) -> bytes:

@@ -1,0 +1,45 @@
+"""Differential verification subsystem (DESIGN.md §8).
+
+Seeded adversarial streams -> every implementation over the same stream ->
+a registry of cross-algorithm contracts -> delta-debugged, replayable JSON
+bundles on violation.  Usable as a library (:class:`DifferentialHarness`)
+or via ``repro-experiments verify``.
+"""
+
+from .bundle import case_from_bundle, load_bundle, replay_bundle, write_bundle
+from .contracts import CONTRACTS, Contract, StreamCase, contract_by_name
+from .harness import (
+    CONDITION_PROFILES,
+    DifferentialHarness,
+    VerifyReport,
+    Violation,
+    check_case,
+)
+from .mutations import MUTATIONS, Mutation, mutation_by_name, mutation_names
+from .shrink import ShrinkResult, shrink_stream
+from .streams import STREAM_PROFILES, generate_stream, profile_names
+
+__all__ = [
+    "CONTRACTS",
+    "CONDITION_PROFILES",
+    "Contract",
+    "DifferentialHarness",
+    "MUTATIONS",
+    "Mutation",
+    "STREAM_PROFILES",
+    "ShrinkResult",
+    "StreamCase",
+    "VerifyReport",
+    "Violation",
+    "case_from_bundle",
+    "check_case",
+    "contract_by_name",
+    "generate_stream",
+    "load_bundle",
+    "mutation_by_name",
+    "mutation_names",
+    "profile_names",
+    "replay_bundle",
+    "shrink_stream",
+    "write_bundle",
+]

@@ -1,0 +1,142 @@
+"""JSON repro bundles: a contract violation you can hand to someone.
+
+A bundle freezes everything needed to replay a violation byte-for-byte:
+the minimized stream itself (plain integer columns), the implication
+conditions, the estimator geometry/seed, the contract that fired, and the
+mutation (if the run was a planted-defect exercise).  Replaying does not
+re-generate the stream from the seed — the recorded tuples are the
+artifact — so bundles survive changes to the stream generators.
+
+Format (``format: repro-verify-bundle``, ``version: 1``)::
+
+    {
+      "format": "repro-verify-bundle",
+      "version": 1,
+      "contract": "batch-scalar-replay",
+      "violation": "<message at capture time>",
+      "seed": 17, "iteration": 3, "profile": "duplicate_heavy",
+      "conditions": {"max_multiplicity": null, "min_support": 4,
+                      "top_c": 1, "min_top_confidence": 0.0},
+      "estimator": {"num_bitmaps": 8, "hash_seed": 17},
+      "mutation": null,
+      "original_size": 512, "shrink_tests": 117,
+      "lhs": [3, 3, 8], "rhs": [0, 1, 0]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.conditions import ImplicationConditions
+from .contracts import StreamCase, contract_by_name
+from .mutations import mutation_by_name
+
+__all__ = ["BUNDLE_FORMAT", "BUNDLE_VERSION", "write_bundle", "load_bundle",
+           "case_from_bundle", "replay_bundle"]
+
+BUNDLE_FORMAT = "repro-verify-bundle"
+BUNDLE_VERSION = 1
+
+
+def write_bundle(
+    path: str | Path,
+    *,
+    case: StreamCase,
+    contract_name: str,
+    violation: str,
+    mutation: str | None = None,
+    iteration: int | None = None,
+    original_size: int | None = None,
+    shrink_tests: int | None = None,
+) -> Path:
+    """Serialize a (usually minimized) failing case to ``path``."""
+    path = Path(path)
+    payload = {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "contract": contract_name,
+        "violation": violation,
+        "seed": case.seed,
+        "iteration": iteration,
+        "profile": case.profile,
+        "conditions": {
+            "max_multiplicity": case.conditions.max_multiplicity,
+            "min_support": case.conditions.min_support,
+            "top_c": case.conditions.top_c,
+            "min_top_confidence": case.conditions.min_top_confidence,
+        },
+        "estimator": {
+            "num_bitmaps": case.num_bitmaps,
+            "hash_seed": case.hash_seed,
+        },
+        "mutation": mutation,
+        "original_size": original_size,
+        "shrink_tests": shrink_tests,
+        "lhs": [int(value) for value in case.lhs],
+        "rhs": [int(value) for value in case.rhs],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bundle(path: str | Path) -> dict:
+    """Load and structurally validate a bundle file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("format") != BUNDLE_FORMAT:
+        raise ValueError(f"{path} is not a {BUNDLE_FORMAT} file")
+    if payload.get("version") != BUNDLE_VERSION:
+        raise ValueError(
+            f"unsupported bundle version {payload.get('version')!r} "
+            f"(expected {BUNDLE_VERSION})"
+        )
+    for key in ("contract", "conditions", "estimator", "lhs", "rhs"):
+        if key not in payload:
+            raise ValueError(f"bundle is missing required key {key!r}")
+    if len(payload["lhs"]) != len(payload["rhs"]):
+        raise ValueError("bundle lhs/rhs columns have different lengths")
+    return payload
+
+
+def case_from_bundle(payload: dict) -> StreamCase:
+    """Rebuild the exact :class:`StreamCase` a bundle recorded."""
+    conditions = ImplicationConditions(
+        max_multiplicity=payload["conditions"]["max_multiplicity"],
+        min_support=payload["conditions"]["min_support"],
+        top_c=payload["conditions"]["top_c"],
+        min_top_confidence=payload["conditions"]["min_top_confidence"],
+    )
+    factory = (
+        mutation_by_name(payload["mutation"]).factory
+        if payload.get("mutation")
+        else None
+    )
+    case = StreamCase(
+        lhs=np.asarray(payload["lhs"], dtype=np.uint64),
+        rhs=np.asarray(payload["rhs"], dtype=np.uint64),
+        conditions=conditions,
+        seed=int(payload.get("seed") or 0),
+        profile=str(payload.get("profile") or "replay"),
+        num_bitmaps=int(payload["estimator"]["num_bitmaps"]),
+        hash_seed=int(payload["estimator"]["hash_seed"]),
+    )
+    if factory is not None:
+        case.factory = factory
+    return case
+
+
+def replay_bundle(path: str | Path) -> str | None:
+    """Re-run a bundle's contract on its recorded stream.
+
+    Returns the violation message if the failure still reproduces, or
+    ``None`` if the underlying bug has been fixed (or the bundle recorded
+    a flake — which, with fully deterministic contracts, would itself be a
+    finding).
+    """
+    payload = load_bundle(path)
+    contract = contract_by_name(payload["contract"])
+    return contract.check(case_from_bundle(payload))

@@ -1,0 +1,148 @@
+"""``repro-experiments verify`` — drive the differential harness.
+
+Three modes:
+
+* ``verify`` — run N seeded iterations over all stream/condition profiles;
+  exit 0 when every contract held, 1 when a violation was found (the
+  shrunk counterexample is written as a JSON bundle).
+* ``verify --mutate NAME`` — run against a planted-mutation fixture; here
+  a violation is the *expected* outcome, but the exit code still reports
+  what happened (1 = detected) so tests and CI assert on it directly.
+* ``verify --replay BUNDLE`` — re-run one recorded bundle; exit 1 if the
+  failure still reproduces, 0 if it no longer does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..observability import metrics as obs
+from .bundle import replay_bundle
+from .harness import DifferentialHarness
+from .mutations import mutation_by_name, mutation_names
+from .streams import profile_names
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments verify",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (default: 0)"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=50,
+        help="differential iterations to run (default: 50)",
+    )
+    parser.add_argument(
+        "--stream-size",
+        type=int,
+        default=512,
+        help="tuples per generated stream (default: 512)",
+    )
+    parser.add_argument(
+        "--profiles",
+        nargs="+",
+        choices=profile_names(),
+        default=None,
+        metavar="PROFILE",
+        help=f"stream profiles to cycle (default: all: {' '.join(profile_names())})",
+    )
+    parser.add_argument(
+        "--mutate",
+        choices=mutation_names(),
+        default=None,
+        help="run against a planted-mutation fixture (harness must detect it)",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for repro bundles on violation (default: cwd)",
+    )
+    parser.add_argument(
+        "--max-shrink-tests",
+        type=int,
+        default=400,
+        help="delta-debugging budget per violation (default: 400)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write verify-run observability metrics as JSON to PATH",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="BUNDLE",
+        default=None,
+        help="replay a recorded bundle instead of fuzzing",
+    )
+    return parser
+
+
+def _replay(path: str) -> int:
+    try:
+        message = replay_bundle(path)
+    except (OSError, ValueError) as error:
+        print(f"verify: cannot replay {path}: {error}", file=sys.stderr)
+        return 2
+    if message is None:
+        print(f"bundle {path}: contract now holds (failure did not reproduce)")
+        return 0
+    print(f"bundle {path}: failure reproduces")
+    print(f"  {message}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.replay is not None:
+        return _replay(args.replay)
+
+    factory_kwargs = {}
+    if args.mutate is not None:
+        mutation = mutation_by_name(args.mutate)
+        factory_kwargs["factory"] = mutation.factory
+        print(
+            f"planted mutation {mutation.name!r}: {mutation.description} "
+            f"(expected detector: {mutation.expected_contract})"
+        )
+    harness = DifferentialHarness(
+        base_seed=args.seed,
+        iterations=args.iterations,
+        stream_size=args.stream_size,
+        profiles=args.profiles,
+        bundle_dir=args.bundle_dir,
+        max_shrink_tests=args.max_shrink_tests,
+        mutation_name=args.mutate,
+        log=print,
+        **factory_kwargs,
+    )
+    report = harness.run()
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            handle.write(obs.get_registry().to_json())
+            handle.write("\n")
+    print(
+        f"verify: {report.iterations_run} iterations, "
+        f"{report.checks_run} contract checks, "
+        f"{len(report.violations)} violation(s)"
+    )
+    if report.ok:
+        print("all contracts held")
+        return 0
+    for violation in report.violations:
+        print(violation.describe())
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""The differential harness: seeded fuzzing over the contract registry.
+
+Each iteration draws one adversarial stream profile and one implication-
+condition profile (both cycled deterministically from the base seed), runs
+every applicable contract from :mod:`repro.verify.contracts`, and — on a
+violation — delta-debugs the stream to a minimal counterexample and writes
+a replayable JSON bundle.  Everything is a pure function of
+``(base_seed, iteration)``: re-running a report's seed reproduces it
+exactly, which is what makes nightly fuzz failures actionable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.conditions import ImplicationConditions
+from ..core.estimator import ImplicationCountEstimator
+from ..observability import metrics as obs
+from .bundle import write_bundle
+from .contracts import CONTRACTS, Contract, StreamCase
+from .shrink import shrink_stream
+from .streams import generate_stream, profile_names
+
+__all__ = [
+    "CONDITION_PROFILES",
+    "DifferentialHarness",
+    "VerifyReport",
+    "Violation",
+    "check_case",
+]
+
+#: Named implication-condition profiles cycled across iterations.  The two
+#: theta > 0 profiles exercise the sticky order-dependent semantics (and the
+#: contracts scoped to skip them); the theta = 0 profiles are where the
+#: bit-for-bit batch/merge/weight identities must hold.
+CONDITION_PROFILES: tuple[tuple[str, ImplicationConditions], ...] = (
+    ("support-only", ImplicationConditions(min_support=4)),
+    ("multiplicity", ImplicationConditions(max_multiplicity=2, min_support=3)),
+    (
+        "one-to-one",
+        ImplicationConditions(
+            max_multiplicity=1, min_support=1, top_c=1, min_top_confidence=1.0
+        ),
+    ),
+    (
+        "noisy-confidence",
+        ImplicationConditions(min_support=2, top_c=1, min_top_confidence=0.8),
+    ),
+    (
+        "top2-confidence",
+        ImplicationConditions(
+            max_multiplicity=3, min_support=2, top_c=2, min_top_confidence=0.6
+        ),
+    ),
+)
+
+
+@dataclass
+class Violation:
+    """One contract failure, already minimized and bundled."""
+
+    iteration: int
+    seed: int
+    profile: str
+    condition_name: str
+    contract: str
+    message: str
+    original_size: int
+    minimized_case: StreamCase
+    shrink_tests: int
+    bundle_path: Path | None = None
+
+    @property
+    def minimized_size(self) -> int:
+        return len(self.minimized_case.lhs)
+
+    def describe(self) -> str:
+        location = f" -> {self.bundle_path}" if self.bundle_path else ""
+        return (
+            f"[{self.contract}] iteration {self.iteration} "
+            f"(seed {self.seed}, {self.profile} x {self.condition_name}): "
+            f"{self.message}\n"
+            f"  shrunk {self.original_size} -> {self.minimized_size} tuples "
+            f"in {self.shrink_tests} tests{location}"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate result of a harness run."""
+
+    iterations_run: int = 0
+    checks_run: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def check_case(
+    case: StreamCase, contracts: Sequence[Contract] = CONTRACTS
+) -> list[tuple[Contract, str]]:
+    """Run every applicable contract over one case; collect violations."""
+    failures: list[tuple[Contract, str]] = []
+    for contract in contracts:
+        if not contract.applies(case):
+            continue
+        message = contract.check(case)
+        if message is not None:
+            failures.append((contract, message))
+    return failures
+
+
+class DifferentialHarness:
+    """Drive seeded differential iterations and shrink what fails.
+
+    Parameters
+    ----------
+    base_seed:
+        Everything — streams, permutations, hash seeds — derives from this.
+    iterations:
+        Number of (stream profile x condition profile) cases to run.
+    stream_size:
+        Tuples per generated stream.  Large enough that distinct counts
+        clear the sketch-envelope floors; the shrinker makes failures small.
+    profiles:
+        Stream profile names to cycle (default: all registered).
+    factory:
+        Estimator class under test — the mutation fixtures substitute a
+        deliberately broken subclass here.
+    bundle_dir:
+        Where to write repro bundles (``None`` disables writing).
+    stop_on_violation:
+        Stop at the first violated contract (CLI behaviour).  When False
+        the run continues and collects every violation.
+    """
+
+    def __init__(
+        self,
+        base_seed: int = 0,
+        iterations: int = 50,
+        stream_size: int = 512,
+        profiles: Sequence[str] | None = None,
+        factory: Callable[..., ImplicationCountEstimator] = ImplicationCountEstimator,
+        num_bitmaps: int = 8,
+        bundle_dir: str | Path | None = None,
+        max_shrink_tests: int = 400,
+        stop_on_violation: bool = True,
+        mutation_name: str | None = None,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if stream_size < 4:
+            raise ValueError(f"stream_size must be >= 4, got {stream_size}")
+        self.base_seed = base_seed
+        self.iterations = iterations
+        self.stream_size = stream_size
+        self.profiles = list(profiles) if profiles else profile_names()
+        self.factory = factory
+        self.num_bitmaps = num_bitmaps
+        self.bundle_dir = Path(bundle_dir) if bundle_dir is not None else None
+        self.max_shrink_tests = max_shrink_tests
+        self.stop_on_violation = stop_on_violation
+        self.mutation_name = mutation_name
+        self.log = log or (lambda message: None)
+
+    # ------------------------------------------------------------------ #
+
+    def case_for_iteration(self, iteration: int) -> tuple[StreamCase, str]:
+        """The deterministic ``(case, condition_name)`` of one iteration."""
+        profile = self.profiles[iteration % len(self.profiles)]
+        condition_name, conditions = CONDITION_PROFILES[
+            (iteration // len(self.profiles)) % len(CONDITION_PROFILES)
+        ]
+        seed = self.base_seed * 1_000_003 + iteration
+        lhs, rhs = generate_stream(profile, seed, self.stream_size)
+        case = StreamCase(
+            lhs=lhs,
+            rhs=rhs,
+            conditions=conditions,
+            seed=seed,
+            profile=profile,
+            factory=self.factory,
+            num_bitmaps=self.num_bitmaps,
+            hash_seed=seed,
+        )
+        return case, condition_name
+
+    def run(self) -> VerifyReport:
+        """Run all iterations; shrink and bundle any contract violation."""
+        registry = obs.get_registry()
+        report = VerifyReport()
+        for iteration in range(self.iterations):
+            started = time.perf_counter()
+            case, condition_name = self.case_for_iteration(iteration)
+            failures = check_case(case)
+            applicable = sum(
+                1 for contract in CONTRACTS if contract.applies(case)
+            )
+            report.iterations_run += 1
+            report.checks_run += applicable
+            registry.counter("verify.iterations").add(1)
+            registry.counter("verify.contracts_checked").add(applicable)
+            registry.histogram("verify.iteration_seconds").observe(
+                time.perf_counter() - started
+            )
+            if not failures:
+                continue
+            for contract, message in failures:
+                registry.counter("verify.violations").add(1)
+                violation = self._minimize(
+                    case, condition_name, iteration, contract, message
+                )
+                report.violations.append(violation)
+                self.log(violation.describe())
+                if self.stop_on_violation:
+                    return report
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _minimize(
+        self,
+        case: StreamCase,
+        condition_name: str,
+        iteration: int,
+        contract: Contract,
+        message: str,
+    ) -> Violation:
+        """Shrink one failing case and (optionally) write its bundle."""
+        self.log(
+            f"[{contract.name}] violated at iteration {iteration}; "
+            f"shrinking {len(case.lhs)}-tuple stream ..."
+        )
+
+        def still_fails(lhs, rhs) -> bool:
+            return contract.check(case.with_stream(lhs, rhs)) is not None
+
+        result = shrink_stream(
+            case.lhs, case.rhs, still_fails, max_tests=self.max_shrink_tests
+        )
+        obs.get_registry().counter("verify.shrink_tests").add(result.tests_run)
+        minimized = case.with_stream(result.lhs, result.rhs)
+        final_message = contract.check(minimized) or message
+        bundle_path: Path | None = None
+        if self.bundle_dir is not None:
+            bundle_path = write_bundle(
+                self.bundle_dir / f"{contract.name}-seed{case.seed}.json",
+                case=minimized,
+                contract_name=contract.name,
+                violation=final_message,
+                mutation=self.mutation_name,
+                iteration=iteration,
+                original_size=len(case.lhs),
+                shrink_tests=result.tests_run,
+            )
+            obs.get_registry().counter("verify.bundles_written").add(1)
+        return Violation(
+            iteration=iteration,
+            seed=case.seed,
+            profile=case.profile,
+            condition_name=condition_name,
+            contract=contract.name,
+            message=final_message,
+            original_size=len(case.lhs),
+            minimized_case=minimized,
+            shrink_tests=result.tests_run,
+            bundle_path=bundle_path,
+        )

@@ -1,0 +1,104 @@
+"""Delta-debugging a failing stream down to a minimal counterexample.
+
+Zeller's ddmin over tuple indices: a violation found on a 512-tuple
+adversarial stream usually survives on a handful of tuples, and the
+handful is what a human (or a regression test) can actually read.  The
+predicate re-runs the violated contract on candidate sub-streams, so
+shrinking works for any contract without knowing why it failed.
+
+The reduction preserves *relative order* — stream semantics are sticky
+and order-dependent, so candidates are always subsequences, never
+re-orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ShrinkResult", "shrink_stream"]
+
+
+class ShrinkResult:
+    """Outcome of a shrink: the minimized columns plus the test budget used."""
+
+    def __init__(self, lhs: np.ndarray, rhs: np.ndarray, tests_run: int) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+        self.tests_run = tests_run
+
+    @property
+    def size(self) -> int:
+        return len(self.lhs)
+
+
+def shrink_stream(
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    still_fails: Callable[[np.ndarray, np.ndarray], bool],
+    max_tests: int = 512,
+) -> ShrinkResult:
+    """Minimize ``(lhs, rhs)`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must be deterministic (the harness re-checks a single
+    contract on a fixed-seed case, which is).  ``max_tests`` bounds the
+    number of predicate evaluations — when the budget runs out the best
+    reduction so far is returned, which is still a valid (just possibly
+    non-minimal) counterexample.
+    """
+    lhs = np.asarray(lhs)
+    rhs = np.asarray(rhs)
+    tests = 0
+
+    def check(indices: np.ndarray) -> bool:
+        nonlocal tests
+        tests += 1
+        return still_fails(lhs[indices], rhs[indices])
+
+    indices = np.arange(len(lhs))
+    granularity = 2
+    while len(indices) >= 2 and tests < max_tests:
+        chunks = np.array_split(indices, granularity)
+        reduced = False
+        # Try each chunk alone, then each complement, classic ddmin order.
+        for candidate in chunks:
+            if len(candidate) == len(indices) or tests >= max_tests:
+                continue
+            if len(candidate) and check(candidate):
+                indices = candidate
+                granularity = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        for position in range(granularity):
+            if tests >= max_tests:
+                break
+            complement = np.concatenate(
+                [chunk for i, chunk in enumerate(chunks) if i != position]
+            )
+            if len(complement) and len(complement) < len(indices) and check(
+                complement
+            ):
+                indices = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity >= len(indices):
+            break
+        granularity = min(granularity * 2, len(indices))
+
+    # Final polish: drop tuples one at a time (ddmin at full granularity
+    # can still leave individually-removable tuples behind).
+    position = 0
+    while position < len(indices) and tests < max_tests and len(indices) > 1:
+        candidate = np.delete(indices, position)
+        if check(candidate):
+            indices = candidate
+        else:
+            position += 1
+
+    return ShrinkResult(lhs[indices], rhs[indices], tests)

@@ -1,0 +1,145 @@
+"""Seeded adversarial stream generators for the differential harness.
+
+Each profile produces a ``(lhs, rhs)`` pair of ``uint64`` columns from a
+seed — the same encoded-column shape every estimator entry point accepts —
+and is chosen to stress a specific failure mode of the pipeline:
+
+* ``uniform`` — the control: moderate distinct counts, no structure.
+* ``skewed`` — Zipfian LHS: a few heavy hitters dominate, exercising the
+  weighted/aggregated paths and deep fringe cells.
+* ``bursty`` — run-length bursts of one identical pair, the worst case for
+  pair-coalescing and weighted updates.
+* ``permuted`` — a structured item×partner grid shuffled whole, the stream
+  family where order-dependence bugs (CICLAD's stream-order divergences)
+  surface.
+* ``duplicate_heavy`` — a tiny universe, so almost every tuple is an exact
+  duplicate; stresses sticky re-evaluation and aggregate dispatch.
+* ``float_trigger_dense`` — almost every LHS is new, so bitmaps keep
+  hashing new rightmost cells and the fringe floats constantly; repeats of
+  the earliest items then land in fixated Zone-1 territory.  This is the
+  geometry race behind the PR 1 transient-fringe regression.
+
+Values stay below ``2**32`` so repro bundles serialize them as plain JSON
+integers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["STREAM_PROFILES", "generate_stream", "profile_names"]
+
+_U64 = np.uint64
+_VALUE_CAP = np.uint64(1) << np.uint64(32)
+
+
+def _as_columns(lhs, rhs) -> tuple[np.ndarray, np.ndarray]:
+    lhs = np.asarray(lhs, dtype=_U64) % _VALUE_CAP
+    rhs = np.asarray(rhs, dtype=_U64) % _VALUE_CAP
+    return lhs, rhs
+
+
+def _uniform(rng: np.random.Generator, size: int) -> tuple[np.ndarray, np.ndarray]:
+    lhs = rng.integers(0, max(size // 6, 8), size=size)
+    rhs = rng.integers(0, 12, size=size)
+    return _as_columns(lhs, rhs)
+
+
+def _skewed(rng: np.random.Generator, size: int) -> tuple[np.ndarray, np.ndarray]:
+    lhs = np.minimum(rng.zipf(1.35, size=size), 1 << 20)
+    rhs = rng.integers(0, 8, size=size)
+    return _as_columns(lhs, rhs)
+
+
+def _bursty(rng: np.random.Generator, size: int) -> tuple[np.ndarray, np.ndarray]:
+    lhs_parts: list[np.ndarray] = []
+    rhs_parts: list[np.ndarray] = []
+    emitted = 0
+    while emitted < size:
+        run = int(min(rng.geometric(0.25), size - emitted))
+        item = int(rng.integers(0, max(size // 10, 6)))
+        partner = int(rng.integers(0, 6))
+        lhs_parts.append(np.full(run, item, dtype=_U64))
+        rhs_parts.append(np.full(run, partner, dtype=_U64))
+        emitted += run
+    return _as_columns(np.concatenate(lhs_parts), np.concatenate(rhs_parts))
+
+
+def _permuted(rng: np.random.Generator, size: int) -> tuple[np.ndarray, np.ndarray]:
+    partners_per_item = 4
+    items = max(size // partners_per_item, 1)
+    # np.resize tiles the grid out to exactly ``size`` even when size is
+    # not a multiple of partners_per_item.
+    lhs = np.resize(np.repeat(np.arange(items, dtype=_U64), partners_per_item), size)
+    rhs = np.resize(np.arange(partners_per_item, dtype=_U64), size)
+    # A fraction of grid cells is repeated so support climbs past tau.
+    repeats = rng.integers(0, size, size=size // 3)
+    lhs = np.concatenate([lhs, lhs[repeats]])[:size]
+    rhs = np.concatenate([rhs, rhs[repeats]])[:size]
+    order = rng.permutation(len(lhs))
+    return _as_columns(lhs[order], rhs[order])
+
+
+def _duplicate_heavy(
+    rng: np.random.Generator, size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    lhs = rng.integers(0, 6, size=size)
+    rhs = rng.integers(0, 3, size=size)
+    return _as_columns(lhs, rhs)
+
+
+def _float_trigger_dense(
+    rng: np.random.Generator, size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    fresh = size - size // 4
+    # Mostly-new LHS values keep hashing new rightmost cells, so the fringe
+    # floats (and fixates early cells) throughout the stream ...
+    lhs = rng.integers(0, 1 << 30, size=fresh)
+    # ... while revisits of the head of the stream land behind the fringe.
+    revisits = lhs[rng.integers(0, max(fresh // 8, 1), size=size - fresh)]
+    lhs = np.concatenate([lhs, revisits])
+    # Keep the first eighth in place so the revisited items genuinely
+    # precede most of the fresh values that push the fringe right.
+    head = size // 8
+    order = np.concatenate([np.arange(head), head + rng.permutation(size - head)])
+    rhs = rng.integers(0, 10, size=size)
+    return _as_columns(lhs[order], rhs)
+
+
+STREAM_PROFILES: dict[
+    str, Callable[[np.random.Generator, int], tuple[np.ndarray, np.ndarray]]
+] = {
+    "uniform": _uniform,
+    "skewed": _skewed,
+    "bursty": _bursty,
+    "permuted": _permuted,
+    "duplicate_heavy": _duplicate_heavy,
+    "float_trigger_dense": _float_trigger_dense,
+}
+
+
+def profile_names() -> list[str]:
+    """Registered profile names, generation order preserved."""
+    return list(STREAM_PROFILES)
+
+
+def generate_stream(
+    profile: str, seed: int, size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministically generate a ``(lhs, rhs)`` stream for a profile."""
+    try:
+        generator = STREAM_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown stream profile {profile!r}; "
+            f"known: {', '.join(STREAM_PROFILES)}"
+        ) from None
+    if size < 1:
+        raise ValueError(f"stream size must be >= 1, got {size}")
+    rng = np.random.default_rng(seed)
+    lhs, rhs = generator(rng, size)
+    if len(lhs) != size or len(rhs) != size:  # pragma: no cover - generator bug
+        raise AssertionError(f"profile {profile!r} produced wrong-size stream")
+    return lhs, rhs

@@ -2,10 +2,28 @@
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
 from repro.core.conditions import ImplicationConditions
+
+
+@pytest.fixture(autouse=True)
+def _pin_global_seeds():
+    """Pin the *global* RNGs before every test.
+
+    The suite's own randomness is already explicitly seeded
+    (``random.Random(seed)`` / ``np.random.default_rng(seed)``), but any
+    library code or future test that falls back to the module-level
+    generators would otherwise make runs diverge run-to-run.  Pinning per
+    test (not per session) also keeps individual tests deterministic under
+    ``-k`` selection and pytest-reordering plugins.
+    """
+    random.seed(0x5EED)
+    np.random.seed(0x5EED)
+    yield
 
 
 @pytest.fixture

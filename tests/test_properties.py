@@ -13,13 +13,19 @@ the invariants the paper's correctness argument rests on:
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.exact import ExactImplicationCounter
 from repro.core.conditions import ImplicationConditions, ItemsetStatus
 from repro.core.estimator import ImplicationCountEstimator
+from repro.core.serialize import estimator_state_digest
 from repro.core.tracker import ItemsetState
+from repro.sketch.fm import FMBitmap, PCSA
+from repro.sketch.kmv import KMinimumValues
+from repro.sketch.linear_counting import LinearCounter
+from repro.sketch.loglog import HyperLogLog, LogLog
 
 conditions_strategy = st.builds(
     lambda k, tau, c, theta: ImplicationConditions(
@@ -32,6 +38,17 @@ conditions_strategy = st.builds(
     tau=st.integers(min_value=1, max_value=6),
     c=st.integers(min_value=1, max_value=3),
     theta=st.floats(min_value=0.0, max_value=1.0),
+)
+
+# Merge and weighted-update *bit-for-bit* identities hold exactly when the
+# sticky confidence condition is off (theta = 0): confidence latching is
+# interleaving-dependent by design (see ItemsetState.merge), while support
+# sums, partner-counter sums and the multiplicity flag are monotone
+# functions of the union multiset — order-independent.
+theta_zero_conditions_strategy = st.builds(
+    lambda k, tau: ImplicationConditions(max_multiplicity=k, min_support=tau),
+    k=st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    tau=st.integers(min_value=1, max_value=6),
 )
 
 stream_strategy = st.lists(
@@ -125,6 +142,45 @@ class TestEstimatorInvariants:
         assert estimator.implication_count() >= 0.0
 
     @settings(deadline=None, max_examples=25)
+    @given(
+        conditions=theta_zero_conditions_strategy,
+        stream=st.lists(
+            st.tuples(
+                st.integers(0, 15), st.integers(0, 7), st.integers(1, 4)
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+    )
+    def test_update_many_weights_equal_repeated_scalar(self, conditions, stream):
+        """update_many with weight k is bit-for-bit k adjacent scalar updates."""
+        pairs = [(a, b) for a, b, _ in stream]
+        weights = [w for _, _, w in stream]
+        weighted = ImplicationCountEstimator(conditions, num_bitmaps=4, seed=13)
+        weighted.update_many(pairs, weights)
+        repeated = ImplicationCountEstimator(conditions, num_bitmaps=4, seed=13)
+        for (a, b), w in zip(pairs, weights):
+            for _ in range(w):
+                repeated.update(a, b)
+        assert estimator_state_digest(weighted) == estimator_state_digest(repeated)
+
+        exact_weighted = ExactImplicationCounter(conditions)
+        exact_weighted.update_many(pairs, weights)
+        exact_repeated = ExactImplicationCounter(conditions)
+        for (a, b), w in zip(pairs, weights):
+            for _ in range(w):
+                exact_repeated.update(a, b)
+        assert exact_weighted.implication_count() == exact_repeated.implication_count()
+        assert (
+            exact_weighted.nonimplication_count()
+            == exact_repeated.nonimplication_count()
+        )
+        assert (
+            exact_weighted.supported_distinct_count()
+            == exact_repeated.supported_distinct_count()
+        )
+
+    @settings(deadline=None, max_examples=25)
     @given(stream=stream_strategy)
     def test_fringe_invariants_hold_throughout(self, stream):
         conditions = ImplicationConditions(
@@ -148,3 +204,124 @@ class TestEstimatorInvariants:
                 assert (
                     bitmap.leftmost_zero_nonimplication() == bitmap.fringe_start
                 )
+
+
+def _sibling_with(base: ImplicationCountEstimator, stream):
+    """A sibling of ``base`` (shared hash/geometry) fed one sub-stream."""
+    estimator = base.spawn_sibling()
+    for itemset, partner in stream:
+        estimator.update(itemset, partner)
+    return estimator
+
+
+class TestNIPSMergeAlgebra:
+    """Merge of NIPS estimators is commutative and associative (theta = 0).
+
+    These are the algebraic laws the distributed layer (Coordinator star,
+    AggregationTree hierarchy) silently relies on: snapshots arrive in
+    arbitrary order and are merged in arbitrary groupings, so the union
+    estimator must not depend on either.  Compared bit-for-bit via the
+    canonical state digest, not just on readouts.
+    """
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        conditions=theta_zero_conditions_strategy,
+        left=stream_strategy,
+        right=stream_strategy,
+    )
+    def test_merge_commutative(self, conditions, left, right):
+        base = ImplicationCountEstimator(conditions, num_bitmaps=4, seed=11)
+        a = _sibling_with(base, left)
+        b = _sibling_with(base, right)
+        ab = base.spawn_sibling().merge(a).merge(b)
+        ba = base.spawn_sibling().merge(b).merge(a)
+        assert estimator_state_digest(ab) == estimator_state_digest(ba)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        conditions=theta_zero_conditions_strategy,
+        first=stream_strategy,
+        second=stream_strategy,
+        third=stream_strategy,
+    )
+    def test_merge_associative(self, conditions, first, second, third):
+        base = ImplicationCountEstimator(conditions, num_bitmaps=4, seed=11)
+        a = _sibling_with(base, first)
+        b = _sibling_with(base, second)
+        c = _sibling_with(base, third)
+        left = base.spawn_sibling().merge(
+            base.spawn_sibling().merge(a).merge(b)
+        ).merge(c)
+        right = base.spawn_sibling().merge(a).merge(
+            base.spawn_sibling().merge(b).merge(c)
+        )
+        assert estimator_state_digest(left) == estimator_state_digest(right)
+
+
+def _sketch_state(sketch):
+    """Canonical internal state of any of the F0 sketches."""
+    if isinstance(sketch, PCSA):
+        return tuple(sketch._bitmaps)
+    if isinstance(sketch, FMBitmap):
+        return sketch._bits
+    if isinstance(sketch, (LogLog, HyperLogLog)):
+        return tuple(sketch.registers.tolist())
+    if isinstance(sketch, LinearCounter):
+        return tuple(sketch._bits.tolist())
+    if isinstance(sketch, KMinimumValues):
+        return tuple(sorted(sketch._members))
+    raise TypeError(f"no state accessor for {type(sketch)!r}")
+
+
+_SKETCH_FACTORIES = [
+    pytest.param(lambda: FMBitmap(seed=3), id="fm"),
+    pytest.param(lambda: PCSA(num_bitmaps=8, seed=3), id="pcsa"),
+    pytest.param(lambda: KMinimumValues(k=16, seed=3), id="kmv"),
+    pytest.param(lambda: LogLog(num_registers=16, seed=3), id="loglog"),
+    pytest.param(lambda: HyperLogLog(num_registers=16, seed=3), id="hll"),
+    pytest.param(lambda: LinearCounter(num_bits=256, seed=3), id="linear"),
+]
+
+_items_strategy = st.lists(st.integers(0, 10_000), max_size=80)
+
+
+def _fill(sketch, items):
+    """Feed items through whichever per-item API the sketch exposes."""
+    for item in items:
+        sketch.add(item)
+    return sketch
+
+
+class TestSketchMergeAlgebra:
+    """The F0 sketches' merges are unions: commutative and associative."""
+
+    @pytest.mark.parametrize("factory", _SKETCH_FACTORIES)
+    @settings(deadline=None, max_examples=20)
+    @given(left=_items_strategy, right=_items_strategy)
+    def test_merge_commutative(self, factory, left, right):
+        a1 = _fill(factory(), left)
+        b1 = _fill(factory(), right)
+        a1.merge(b1)
+        a2 = _fill(factory(), left)
+        b2 = _fill(factory(), right)
+        b2.merge(a2)
+        assert _sketch_state(a1) == _sketch_state(b2)
+        assert a1.estimate() == b2.estimate()
+
+    @pytest.mark.parametrize("factory", _SKETCH_FACTORIES)
+    @settings(deadline=None, max_examples=20)
+    @given(first=_items_strategy, second=_items_strategy, third=_items_strategy)
+    def test_merge_associative(self, factory, first, second, third):
+        def fresh(items):
+            return _fill(factory(), items)
+
+        left = fresh(first)
+        left.merge(fresh(second))
+        left.merge(fresh(third))
+        right_tail = fresh(second)
+        right_tail.merge(fresh(third))
+        right = fresh(first)
+        right.merge(right_tail)
+        assert _sketch_state(left) == _sketch_state(right)
+        assert left.estimate() == right.estimate()

@@ -1,0 +1,297 @@
+"""Tests for the differential verification subsystem (repro.verify)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.verify import (
+    CONTRACTS,
+    DifferentialHarness,
+    StreamCase,
+    check_case,
+    contract_by_name,
+    generate_stream,
+    load_bundle,
+    mutation_by_name,
+    mutation_names,
+    profile_names,
+    replay_bundle,
+    shrink_stream,
+    write_bundle,
+)
+from repro.verify.bundle import case_from_bundle
+
+
+class TestStreamProfiles:
+    def test_profiles_are_deterministic(self):
+        for profile in profile_names():
+            first = generate_stream(profile, seed=42, size=128)
+            second = generate_stream(profile, seed=42, size=128)
+            np.testing.assert_array_equal(first[0], second[0])
+            np.testing.assert_array_equal(first[1], second[1])
+
+    def test_profiles_differ_across_seeds(self):
+        lhs_a, _ = generate_stream("uniform", seed=1, size=128)
+        lhs_b, _ = generate_stream("uniform", seed=2, size=128)
+        assert not np.array_equal(lhs_a, lhs_b)
+
+    def test_profiles_produce_requested_size_and_dtype(self):
+        for profile in profile_names():
+            lhs, rhs = generate_stream(profile, seed=7, size=97)
+            assert len(lhs) == len(rhs) == 97
+            assert lhs.dtype == np.uint64
+            assert rhs.dtype == np.uint64
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown stream profile"):
+            generate_stream("nope", seed=0, size=16)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            generate_stream("uniform", seed=0, size=0)
+
+
+class TestContractRegistry:
+    def test_registry_names_unique(self):
+        names = [contract.name for contract in CONTRACTS]
+        assert len(names) == len(set(names))
+
+    def test_contract_by_name_roundtrip(self):
+        for contract in CONTRACTS:
+            assert contract_by_name(contract.name) is contract
+        with pytest.raises(ValueError, match="unknown contract"):
+            contract_by_name("no-such-contract")
+
+    def test_theta_scoped_contracts_skip_confidence_conditions(self):
+        lhs, rhs = generate_stream("uniform", seed=0, size=32)
+        confident = StreamCase(
+            lhs=lhs,
+            rhs=rhs,
+            conditions=ImplicationConditions(
+                min_support=1, top_c=1, min_top_confidence=0.8
+            ),
+            seed=0,
+        )
+        for name in ("batch-pair-aggregation", "shard-merge", "update-many-weights"):
+            assert not contract_by_name(name).applies(confident)
+        relaxed = StreamCase(
+            lhs=lhs,
+            rhs=rhs,
+            conditions=ImplicationConditions(min_support=2),
+            seed=0,
+        )
+        for contract in CONTRACTS:
+            assert contract.applies(relaxed)
+
+    def test_clean_case_passes_every_contract(self):
+        lhs, rhs = generate_stream("duplicate_heavy", seed=11, size=192)
+        case = StreamCase(
+            lhs=lhs,
+            rhs=rhs,
+            conditions=ImplicationConditions(max_multiplicity=2, min_support=3),
+            seed=11,
+            profile="duplicate_heavy",
+        )
+        assert check_case(case) == []
+
+
+class TestShrink:
+    def test_shrinks_to_single_offender(self):
+        rng = np.random.default_rng(5)
+        lhs = rng.integers(0, 50, size=200).astype(np.uint64)
+        lhs[137] = 777  # the single tuple the predicate needs
+        rhs = rng.integers(0, 5, size=200).astype(np.uint64)
+
+        result = shrink_stream(lhs, rhs, lambda l, r: 777 in l.tolist())
+        assert result.size == 1
+        assert result.lhs[0] == 777
+
+    def test_preserves_relative_order(self):
+        lhs = np.array([9, 3, 9, 5, 9], dtype=np.uint64)
+        rhs = np.zeros(5, dtype=np.uint64)
+
+        def needs_3_before_5(l, r) -> bool:
+            values = l.tolist()
+            return (
+                3 in values and 5 in values and values.index(3) < values.index(5)
+            )
+
+        result = shrink_stream(lhs, rhs, needs_3_before_5)
+        assert result.lhs.tolist() == [3, 5]
+
+    def test_respects_test_budget(self):
+        lhs = np.arange(64, dtype=np.uint64)
+        rhs = np.zeros(64, dtype=np.uint64)
+        result = shrink_stream(lhs, rhs, lambda l, r: len(l) >= 2, max_tests=10)
+        assert result.tests_run <= 11  # budget, +1 for the final in-flight test
+        assert result.size >= 2  # still a failing stream
+
+
+class TestBundles:
+    def _sample_case(self) -> StreamCase:
+        lhs, rhs = generate_stream("uniform", seed=3, size=16)
+        return StreamCase(
+            lhs=lhs,
+            rhs=rhs,
+            conditions=ImplicationConditions(min_support=2),
+            seed=3,
+            profile="uniform",
+        )
+
+    def test_write_load_roundtrip(self, tmp_path):
+        case = self._sample_case()
+        path = write_bundle(
+            tmp_path / "b.json",
+            case=case,
+            contract_name="serialize-roundtrip",
+            violation="synthetic",
+            iteration=4,
+            original_size=512,
+            shrink_tests=99,
+        )
+        payload = load_bundle(path)
+        assert payload["contract"] == "serialize-roundtrip"
+        assert payload["iteration"] == 4
+        rebuilt = case_from_bundle(payload)
+        np.testing.assert_array_equal(rebuilt.lhs, case.lhs)
+        np.testing.assert_array_equal(rebuilt.rhs, case.rhs)
+        assert rebuilt.conditions == case.conditions
+
+    def test_load_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(ValueError, match="not a repro-verify-bundle"):
+            load_bundle(bad)
+        bad.write_text(
+            json.dumps({"format": "repro-verify-bundle", "version": 99})
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_bundle(bad)
+        bad.write_text(
+            json.dumps(
+                {
+                    "format": "repro-verify-bundle",
+                    "version": 1,
+                    "contract": "shard-merge",
+                    "conditions": {},
+                    "estimator": {},
+                    "lhs": [1, 2],
+                    "rhs": [1],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="different lengths"):
+            load_bundle(bad)
+
+    def test_replay_clean_bundle_returns_none(self, tmp_path):
+        # A bundle over a healthy stream/contract: replay reports "fixed".
+        path = write_bundle(
+            tmp_path / "clean.json",
+            case=self._sample_case(),
+            contract_name="serialize-roundtrip",
+            violation="was never real",
+        )
+        assert replay_bundle(path) is None
+
+
+class TestMutations:
+    def test_mutation_names_unique_and_resolvable(self):
+        names = mutation_names()
+        assert len(names) == len(set(names))
+        for name in names:
+            assert mutation_by_name(name).name == name
+        with pytest.raises(ValueError, match="unknown mutation"):
+            mutation_by_name("no-such-mutation")
+
+    @pytest.mark.parametrize("name", mutation_names())
+    def test_mutant_detected_shrunk_and_replayable(self, name, tmp_path):
+        """The full acceptance loop: detect, shrink to <= 20 tuples, bundle,
+        replay reproduces, and the fix (stock estimator) makes it pass."""
+        mutation = mutation_by_name(name)
+        harness = DifferentialHarness(
+            base_seed=5,
+            iterations=12,
+            stream_size=256,
+            factory=mutation.factory,
+            bundle_dir=tmp_path,
+            mutation_name=name,
+        )
+        report = harness.run()
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.contract == mutation.expected_contract
+        assert violation.minimized_size <= 20
+        assert violation.bundle_path is not None
+
+        # The recorded bundle replays the failure deterministically ...
+        message = replay_bundle(violation.bundle_path)
+        assert message is not None
+
+        # ... and the same minimized stream passes once the bug is "fixed"
+        # (mutation stripped, stock estimator back in).
+        payload = load_bundle(violation.bundle_path)
+        payload["mutation"] = None
+        fixed = case_from_bundle(payload)
+        assert fixed.factory is ImplicationCountEstimator
+        assert contract_by_name(violation.contract).check(fixed) is None
+
+
+class TestHarness:
+    def test_clean_run_small_budget(self, tmp_path):
+        report = DifferentialHarness(
+            base_seed=1, iterations=8, stream_size=192, bundle_dir=tmp_path
+        ).run()
+        assert report.ok
+        assert report.iterations_run == 8
+        assert report.checks_run > 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_iterations_are_deterministic(self):
+        a = DifferentialHarness(base_seed=9, iterations=3, stream_size=64)
+        b = DifferentialHarness(base_seed=9, iterations=3, stream_size=64)
+        for iteration in range(3):
+            case_a, name_a = a.case_for_iteration(iteration)
+            case_b, name_b = b.case_for_iteration(iteration)
+            assert name_a == name_b
+            assert case_a.seed == case_b.seed
+            np.testing.assert_array_equal(case_a.lhs, case_b.lhs)
+            np.testing.assert_array_equal(case_a.rhs, case_b.rhs)
+
+    def test_cycles_profiles_and_conditions(self):
+        harness = DifferentialHarness(base_seed=0, iterations=40, stream_size=64)
+        profiles = {
+            harness.case_for_iteration(i)[0].profile for i in range(40)
+        }
+        condition_names = {
+            harness.case_for_iteration(i)[1] for i in range(40)
+        }
+        assert profiles == set(profile_names())
+        assert len(condition_names) == 5
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError, match="iterations"):
+            DifferentialHarness(iterations=0)
+        with pytest.raises(ValueError, match="stream_size"):
+            DifferentialHarness(stream_size=2)
+
+
+@pytest.mark.fuzz
+class TestFuzzTier:
+    """The long differential tier — nightly CI; excluded from PR runs."""
+
+    def test_fifty_iterations_all_profiles_clean(self, tmp_path):
+        report = DifferentialHarness(
+            base_seed=0, iterations=50, stream_size=512, bundle_dir=tmp_path
+        ).run()
+        assert report.ok, "\n".join(v.describe() for v in report.violations)
+
+    def test_second_seed_band_clean(self, tmp_path):
+        report = DifferentialHarness(
+            base_seed=20_000, iterations=30, stream_size=768, bundle_dir=tmp_path
+        ).run()
+        assert report.ok, "\n".join(v.describe() for v in report.violations)

@@ -1,0 +1,131 @@
+"""Tests for the ``repro-experiments verify`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.verify.cli import main as verify_main
+
+
+class TestCleanRun:
+    def test_exit_zero_and_summary(self, tmp_path, capsys):
+        code = verify_main(
+            [
+                "--seed", "3",
+                "--iterations", "8",
+                "--stream-size", "192",
+                "--bundle-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 iterations" in out
+        assert "all contracts held" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_dispatch_through_repro_experiments(self, tmp_path, capsys):
+        code = repro_main(
+            [
+                "verify",
+                "--seed", "3",
+                "--iterations", "6",
+                "--stream-size", "192",
+                "--bundle-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "all contracts held" in capsys.readouterr().out
+
+    def test_metrics_json_written(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = verify_main(
+            [
+                "--seed", "1",
+                "--iterations", "6",
+                "--stream-size", "192",
+                "--bundle-dir", str(tmp_path),
+                "--metrics-json", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(metrics_path.read_text())
+        counters = payload["counters"]
+        assert counters["verify.iterations"] >= 6
+        assert counters["verify.contracts_checked"] > 0
+
+    def test_profile_subset_flag(self, tmp_path, capsys):
+        code = verify_main(
+            [
+                "--seed", "2",
+                "--iterations", "4",
+                "--stream-size", "192",
+                "--profiles", "uniform", "duplicate_heavy",
+                "--bundle-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            verify_main(["--profiles", "nope", "--bundle-dir", str(tmp_path)])
+
+
+class TestPlantedMutation:
+    def test_detected_bundled_and_replayable(self, tmp_path, capsys):
+        code = verify_main(
+            [
+                "--seed", "5",
+                "--iterations", "12",
+                "--stream-size", "256",
+                "--mutate", "batch-drops-rows",
+                "--bundle-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "planted mutation 'batch-drops-rows'" in out
+        assert "[batch-scalar-replay]" in out
+
+        bundles = list(tmp_path.glob("*.json"))
+        assert len(bundles) == 1
+        payload = json.loads(bundles[0].read_text())
+        assert payload["format"] == "repro-verify-bundle"
+        assert payload["mutation"] == "batch-drops-rows"
+        assert len(payload["lhs"]) <= 20  # minimized counterexample
+
+        # --replay on the recorded bundle reproduces the failure ...
+        code = verify_main(["--replay", str(bundles[0])])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "failure reproduces" in out
+
+        # ... until the mutation is stripped (the "bug" is fixed), at which
+        # point the same stream passes and replay exits 0.
+        payload["mutation"] = None
+        fixed = tmp_path / "fixed.json"
+        fixed.write_text(json.dumps(payload))
+        code = verify_main(["--replay", str(fixed)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "did not reproduce" in out
+
+    def test_unknown_mutation_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            verify_main(["--mutate", "nope", "--bundle-dir", str(tmp_path)])
+
+
+class TestReplayErrors:
+    def test_missing_bundle_exits_two(self, tmp_path, capsys):
+        code = verify_main(["--replay", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_malformed_bundle_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "other"}))
+        code = verify_main(["--replay", str(bad)])
+        assert code == 2
+        assert "cannot replay" in capsys.readouterr().err
