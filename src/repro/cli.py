@@ -8,6 +8,8 @@ Examples::
     repro-experiments ablation-fringe
     repro-experiments verify --seed 7 --iterations 50
     repro-experiments verify --replay batch-scalar-replay-seed7.json
+    repro-experiments checkpoint --checkpoint-dir ckpt --every 2 --workers 4
+    repro-experiments resume --checkpoint-dir ckpt --every 2 --workers 4
     REPRO_SCALE=medium repro-experiments figure5
 
 Every command prints the same table its pytest bench prints; sizing comes
@@ -82,6 +84,12 @@ def main(argv: list[str] | None = None) -> int:
         from .verify.cli import main as verify_main
 
         return verify_main(argv[1:])
+    if argv and argv[0] in ("checkpoint", "resume"):
+        # Likewise for the durable-ingest subcommands (--checkpoint-dir,
+        # --every, ...); the mode itself is the first positional.
+        from .recovery.cli import main as recovery_main
+
+        return recovery_main(argv)
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=__doc__,
@@ -106,8 +114,10 @@ def main(argv: list[str] | None = None) -> int:
         ],
         help=(
             "which paper artifact (or ablation) to regenerate; "
-            "'verify' runs the differential harness (see "
-            "'repro-experiments verify --help')"
+            "'verify' runs the differential harness and 'checkpoint'/"
+            "'resume' run durable sharded ingests (see "
+            "'repro-experiments verify --help' / "
+            "'repro-experiments checkpoint --help')"
         ),
     )
     parser.add_argument(

@@ -44,10 +44,18 @@ __all__ = [
     "estimator_to_dict",
     "estimator_from_dict",
     "estimator_state_digest",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "checkpoint_manifest_to_bytes",
+    "checkpoint_manifest_from_bytes",
 ]
 
 _MAGIC = b"NIPS"
 _VERSION = 1
+
+#: Format tag / version of the durable checkpoint manifest (repro.recovery).
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
 
 _HASH_KINDS: dict[str, type] = {
     "splitmix": SplitMix64Hash,
@@ -395,6 +403,122 @@ def estimator_state_digest(estimator: ImplicationCountEstimator) -> str:
             cell.sort(key=lambda entry: json.dumps(entry[0], sort_keys=True))
     body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint manifests (repro.recovery)
+# --------------------------------------------------------------------- #
+
+
+def _str_field(payload, key: str) -> str:
+    raw = _field(payload, key)
+    if not isinstance(raw, str):
+        raise SketchFormatError(
+            f"checkpoint manifest field {key!r} must be a string, got {raw!r}"
+        )
+    return raw
+
+
+def _sha256_field(payload, key: str) -> str:
+    raw = _str_field(payload, key)
+    if len(raw) != 64 or any(c not in "0123456789abcdef" for c in raw):
+        raise SketchFormatError(
+            f"checkpoint manifest field {key!r} must be a lowercase "
+            f"hex SHA-256 digest, got {raw!r}"
+        )
+    return raw
+
+
+def _file_entry(payload, context: str) -> dict:
+    """Validate one ``{file, bytes, sha256}`` reference in a manifest."""
+    if not isinstance(payload, dict):
+        raise SketchFormatError(
+            f"checkpoint manifest {context} must be an object, got {payload!r}"
+        )
+    name = _str_field(payload, "file")
+    if not name or "/" in name or "\\" in name or name.startswith("."):
+        raise SketchFormatError(
+            f"checkpoint manifest {context} names unsafe file {name!r}"
+        )
+    _int_field(payload, "bytes", minimum=0)
+    _sha256_field(payload, "sha256")
+    return payload
+
+
+def checkpoint_manifest_to_bytes(manifest: dict) -> bytes:
+    """Canonical JSON encoding of a checkpoint manifest (UTF-8, sorted keys).
+
+    The manifest is the *commit record* of a checkpoint generation: its
+    atomic rename is what makes the whole snapshot visible, and its
+    checksums are what let :func:`checkpoint_manifest_from_bytes` +
+    the recovery loader distinguish a committed generation from a torn
+    one.  Canonical encoding keeps re-encoding stable, mirroring the
+    estimator wire format.
+    """
+    return (
+        json.dumps(manifest, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def checkpoint_manifest_from_bytes(data: bytes) -> dict:
+    """Parse and validate a checkpoint manifest.
+
+    Every failure mode of a fuzzed, truncated or version-skewed manifest
+    surfaces as :class:`SketchFormatError` — the same single quarantine
+    exception the sketch wire format promises — which is what lets the
+    recovery loader treat *any* invalid generation as "fall back to the
+    previous one" rather than crashing the resume.
+    """
+    try:
+        decoded = json.loads(bytes(data).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError, TypeError, ValueError) as error:
+        raise SketchFormatError(f"corrupt checkpoint manifest: {error}") from None
+    if not isinstance(decoded, dict):
+        raise SketchFormatError(
+            f"checkpoint manifest must be an object, got {type(decoded).__name__}"
+        )
+    if decoded.get("format") != CHECKPOINT_FORMAT:
+        raise SketchFormatError(
+            f"not a checkpoint manifest (format {decoded.get('format')!r})"
+        )
+    if decoded.get("version") != CHECKPOINT_VERSION:
+        raise SketchFormatError(
+            f"unsupported checkpoint manifest version {decoded.get('version')!r}"
+        )
+    _int_field(decoded, "generation", minimum=0)
+    _int_field(decoded, "cursor", minimum=0)
+    _int_field(decoded, "tuples_seen", minimum=0)
+    _sha256_field(decoded, "state_digest")
+    _file_entry(_field(decoded, "payload"), "payload entry")
+    geometry = _field(decoded, "geometry")
+    if not isinstance(geometry, dict):
+        raise SketchFormatError(
+            f"checkpoint manifest geometry must be an object, got {geometry!r}"
+        )
+    _int_field(geometry, "num_bitmaps", minimum=1)
+    _int_field(geometry, "length", minimum=1)
+    attachments = decoded.get("attachments", [])
+    if not isinstance(attachments, list):
+        raise SketchFormatError(
+            f"checkpoint manifest attachments must be a list, got {attachments!r}"
+        )
+    seen_files = {_field(decoded, "payload")["file"]}
+    for entry in attachments:
+        _file_entry(entry, "attachment entry")
+        _str_field(entry, "name")
+        if entry["file"] in seen_files:
+            raise SketchFormatError(
+                f"checkpoint manifest reuses file {entry['file']!r}"
+            )
+        seen_files.add(entry["file"])
+    for key in ("epoch", "metrics", "extra"):
+        value = decoded.get(key, {})
+        if not isinstance(value, dict):
+            raise SketchFormatError(
+                f"checkpoint manifest field {key!r} must be an object, "
+                f"got {value!r}"
+            )
+    return decoded
 
 
 def estimator_to_bytes(estimator: ImplicationCountEstimator) -> bytes:

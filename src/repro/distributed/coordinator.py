@@ -40,14 +40,36 @@ class Coordinator:
     :meth:`merged_estimator`.
     """
 
-    def __init__(self, template: ImplicationCountEstimator) -> None:
+    #: Default cap on distinct node names tracked in the quarantine
+    #: bookkeeping dicts.  A misbehaving (or adversarial) sender that
+    #: invents a fresh node name per bad payload would otherwise grow
+    #: coordinator memory without bound; beyond the cap, rejections are
+    #: still refused and *counted* (:attr:`rejections_dropped`), just not
+    #: tracked per-name.
+    DEFAULT_MAX_TRACKED_REJECTIONS = 1024
+
+    def __init__(
+        self,
+        template: ImplicationCountEstimator,
+        *,
+        max_tracked_rejections: int = DEFAULT_MAX_TRACKED_REJECTIONS,
+    ) -> None:
+        if max_tracked_rejections < 1:
+            raise ValueError(
+                f"max_tracked_rejections must be >= 1, got {max_tracked_rejections}"
+            )
         self.template = template
+        self.max_tracked_rejections = max_tracked_rejections
         self._latest: dict[str, bytes] = {}
         self.bytes_received = 0
-        #: Rejected payload count per node name (quarantine accounting).
+        #: Rejected payload count per node name (quarantine accounting,
+        #: capped at :attr:`max_tracked_rejections` distinct names).
         self.rejected_payloads: dict[str, int] = {}
-        #: Most recent rejection reason per node name.
+        #: Most recent rejection reason per node name (same cap).
         self.rejection_reasons: dict[str, str] = {}
+        #: Rejections from node names beyond the tracking cap — counted
+        #: here in aggregate instead of per-name.
+        self.rejections_dropped = 0
         #: Monotonic epoch for :meth:`ingest_sharded` shard namespacing.
         self._ingest_epoch = 0
 
@@ -78,12 +100,27 @@ class Coordinator:
         return True
 
     def _reject(self, node_name: str, reason: str) -> bool:
-        """Quarantine one payload: count it, keep the reason, store nothing."""
-        self.rejected_payloads[node_name] = (
-            self.rejected_payloads.get(node_name, 0) + 1
-        )
-        self.rejection_reasons[node_name] = reason
-        obs.get_registry().counter("coordinator.payloads_rejected").add(1)
+        """Quarantine one payload: count it, keep the reason, store nothing.
+
+        Per-name bookkeeping is bounded: a name already tracked always
+        updates, but once :attr:`max_tracked_rejections` distinct names are
+        on file, rejections from *new* names only bump
+        :attr:`rejections_dropped` (and the aggregate counters) — the
+        payload is refused either way.
+        """
+        registry = obs.get_registry()
+        if (
+            node_name in self.rejected_payloads
+            or len(self.rejected_payloads) < self.max_tracked_rejections
+        ):
+            self.rejected_payloads[node_name] = (
+                self.rejected_payloads.get(node_name, 0) + 1
+            )
+            self.rejection_reasons[node_name] = reason
+        else:
+            self.rejections_dropped += 1
+            registry.counter("coordinator.rejections_dropped").add(1)
+        registry.counter("coordinator.payloads_rejected").add(1)
         return False
 
     def sync(self, nodes: Iterable[StreamNode]) -> None:
@@ -126,6 +163,73 @@ class Coordinator:
             lhs, rhs, aggregate=aggregate, grouped=grouped
         ):
             self.receive(f"ingest-{epoch}/{shard_name}", payload)
+
+    def checkpoint(self, manager, *, cursor: int = 0, extra: dict | None = None):
+        """Commit the coordinator's full state as one checkpoint generation.
+
+        The merged estimator is the generation's payload; every node's
+        latest accepted snapshot rides along as a checksummed attachment,
+        and the manifest's ``extra`` records the ingest epoch, byte
+        accounting and quarantine bookkeeping — everything
+        :meth:`restore` needs to rebuild this coordinator after a crash,
+        including the ability to keep folding in *new* node snapshots
+        (which a merged-only checkpoint could not support).
+        """
+        merged = self.merged_estimator()
+        payload_extra = {
+            "kind": "coordinator",
+            "ingest_epoch": self._ingest_epoch,
+            "bytes_received": self.bytes_received,
+            "rejected_payloads": dict(self.rejected_payloads),
+            "rejection_reasons": dict(self.rejection_reasons),
+            "rejections_dropped": self.rejections_dropped,
+        }
+        payload_extra.update(extra or {})
+        return manager.save(
+            merged,
+            cursor=cursor,
+            epoch={"ingest_epoch": self._ingest_epoch},
+            extra=payload_extra,
+            attachments=dict(self._latest),
+        )
+
+    def restore(self, manager) -> bool:
+        """Rebuild coordinator state from the latest valid checkpoint.
+
+        Returns ``True`` when a generation was restored, ``False`` when
+        the directory held nothing restorable (the coordinator is left
+        untouched).  Node snapshots re-enter through :meth:`receive`, so
+        an attachment that was corrupted *after* commit in a way the
+        checksums catch is rejected by the loader, and one that decodes
+        but no longer merges is quarantined exactly like a live bad
+        message — restore can degrade a node, never poison the merge.
+        """
+        restored = manager.load_latest(template=self.template)
+        if restored is None:
+            return False
+        extra = restored.manifest["extra"]
+        self._latest = {}
+        self.rejected_payloads = {}
+        self.rejection_reasons = {}
+        for node_name, payload in restored.attachments.items():
+            self.receive(node_name, payload)
+        # receive() re-accumulated byte counts; the manifest's figures are
+        # the authoritative pre-crash totals.
+        self.bytes_received = int(extra.get("bytes_received", self.bytes_received))
+        self._ingest_epoch = int(extra.get("ingest_epoch", 0))
+        recorded_rejections = extra.get("rejected_payloads", {})
+        if isinstance(recorded_rejections, dict):
+            for node_name, count in recorded_rejections.items():
+                self.rejected_payloads[node_name] = (
+                    self.rejected_payloads.get(node_name, 0) + int(count)
+                )
+        recorded_reasons = extra.get("rejection_reasons", {})
+        if isinstance(recorded_reasons, dict):
+            for node_name, reason in recorded_reasons.items():
+                self.rejection_reasons.setdefault(node_name, str(reason))
+        self.rejections_dropped = int(extra.get("rejections_dropped", 0))
+        obs.get_registry().counter("coordinator.restores").add(1)
+        return True
 
     def merged_estimator(self) -> ImplicationCountEstimator:
         """Rebuild the union estimator from the latest snapshots."""

@@ -225,6 +225,9 @@ class ShardedIngestor:
         registry = obs.get_registry()
         registry.counter("sharded.ingests").add(1)
         registry.counter("sharded.jobs").add(len(jobs))
+        # Touch the retry counter so it exports as an explicit zero in
+        # --metrics-json even for runs where no shard ever failed.
+        registry.counter("engine.shard_retries")
         if len(jobs) == 1:
             results = [self._run_serial(jobs[0])]
         else:
@@ -249,6 +252,120 @@ class ShardedIngestor:
             lhs, rhs, aggregate=aggregate, grouped=grouped
         ):
             merged.merge(ImplicationCountEstimator.from_bytes(payload))
+        return merged
+
+    def ingest_checkpointed(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        manager,
+        chunk_size: int = 8192,
+        every: int = 1,
+        aggregate: bool = True,
+        grouped: bool = True,
+    ) -> ImplicationCountEstimator:
+        """Chunked ingest with durable checkpoints — and the resume path.
+
+        The stream is cut into fixed ``chunk_size`` chunks at *absolute*
+        boundaries (multiples of ``chunk_size`` from tuple zero); each
+        chunk is one sharded ingest round merged into an accumulator, and
+        after every ``every`` chunks (and at end-of-stream) the accumulator
+        is committed to ``manager`` (:class:`repro.recovery.checkpoint
+        .CheckpointManager`) together with the stream cursor.
+
+        Calling this again over the same stream and checkpoint directory
+        *is* the resume path: the latest valid generation is restored
+        (torn or corrupt generations fall back automatically), and only
+        the suffix from the recorded cursor is replayed.  Because chunk
+        boundaries are absolute and every chunk's shard split is
+        deterministic, the merge structure of a resumed run is identical
+        to an uninterrupted one — the final state is bit-for-bit equal in
+        the :func:`repro.core.serialize.estimator_state_digest` sense, for
+        every condition profile (unlike shard-merge vs single-pass, no
+        theta scope is needed: both sides here run the *same* pipeline).
+
+        Ingest parameters that shape the merge structure (``chunk_size``,
+        ``workers``, ``aggregate``, ``grouped``) are recorded in each
+        manifest and enforced on resume — resuming with different values
+        would silently produce a differently-shaped (though still valid)
+        merge, which is exactly the kind of drift the digest contract
+        exists to forbid.  ``every`` only changes checkpoint cadence, not
+        results, so it may differ.
+
+        The failed-shard retry path composes with checkpoints: a shard
+        retried inside chunk ``i`` yields the identical chunk estimator,
+        so the checkpoint at the next boundary is byte-identical whether
+        or not a worker died — retries never fork the checkpoint lineage.
+        """
+        from ..recovery import crash
+
+        lhs = np.asarray(lhs, dtype=np.uint64)
+        rhs = np.asarray(rhs, dtype=np.uint64)
+        if lhs.shape != rhs.shape:
+            raise ValueError(
+                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
+            )
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        shape = {
+            "kind": "sharded-checkpointed",
+            "chunk_size": chunk_size,
+            "workers": self.workers,
+            "aggregate": aggregate,
+            "grouped": grouped,
+        }
+        registry = obs.get_registry()
+        restored = manager.load_latest(template=self.template)
+        if restored is not None:
+            recorded = {
+                key: restored.manifest["extra"].get(key) for key in shape
+            }
+            if recorded != shape:
+                raise ValueError(
+                    f"checkpoint {restored.generation} was written by an "
+                    f"ingest shaped {recorded}, cannot resume with {shape} — "
+                    f"the merge structure (and therefore the state digest) "
+                    f"would diverge from the uninterrupted run"
+                )
+            if restored.cursor > len(lhs):
+                raise ValueError(
+                    f"checkpoint cursor {restored.cursor} is beyond the "
+                    f"{len(lhs)}-tuple stream — wrong stream or wrong "
+                    f"checkpoint directory"
+                )
+            merged = restored.estimator
+            cursor = restored.cursor
+            registry.counter("recovery.resumed_ingests").add(1)
+            registry.counter("recovery.tuples_skipped").add(cursor)
+        else:
+            merged = self.template.spawn_sibling()
+            cursor = 0
+        if len(lhs) == 0:
+            return merged
+
+        chunks_since_save = 0
+        while cursor < len(lhs):
+            chunk_index = cursor // chunk_size
+            end = min((chunk_index + 1) * chunk_size, len(lhs))
+            for _, payload in self.ingest_payloads(
+                lhs[cursor:end], rhs[cursor:end], aggregate=aggregate, grouped=grouped
+            ):
+                merged.merge(ImplicationCountEstimator.from_bytes(payload))
+            cursor = end
+            registry.counter("engine.chunks_ingested").add(1)
+            crash.maybe_crash(f"chunk:{chunk_index}")
+            chunks_since_save += 1
+            if chunks_since_save >= every or cursor == len(lhs):
+                manager.save(
+                    merged,
+                    cursor=cursor,
+                    epoch={"chunk_index": chunk_index},
+                    extra=shape,
+                )
+                chunks_since_save = 0
         return merged
 
     # ------------------------------------------------------------------ #
@@ -281,6 +398,7 @@ class ShardedIngestor:
         registry = obs.get_registry()
         registry.counter("sharded.shard_failures").add(1)
         registry.counter("sharded.shard_retries").add(1)
+        registry.counter("engine.shard_retries").add(1)
         shard_index = job[0]
         retry_job = (shard_index, 1, *job[2:])
         try:

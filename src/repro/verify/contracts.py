@@ -19,6 +19,8 @@ state, canonicalized over dict insertion order.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -229,6 +231,74 @@ def _check_shard_merge(case: StreamCase) -> str | None:
     return _compare_states(
         "single-pass", single, "coordinator merge", coordinator.merged_estimator()
     )
+
+
+def _check_resume_single_pass(case: StreamCase) -> str | None:
+    """Checkpoint/resume == uninterrupted run, bit-for-bit, all profiles.
+
+    Three legs over the same chunked checkpointed ingest
+    (:meth:`ShardedIngestor.ingest_checkpointed`): an uninterrupted run,
+    an interrupted run (the stream prefix up to a chunk boundary — the
+    state a crash leaves behind) that is then resumed over the full
+    stream, and the same resume after the latest checkpoint generation
+    has been corrupted on disk (torn-write stand-in), which must fall
+    back to the previous generation.  All three must land on the same
+    state digest.  No theta scope: both sides run the *same* merge
+    structure (absolute chunk boundaries), so even interleaving-sensitive
+    sticky state evolves identically.
+    """
+    from ..recovery.checkpoint import CheckpointManager
+
+    chunk = max(len(case.lhs) // 4, 1)
+    boundary = min(2 * chunk, len(case.lhs))
+    kwargs = dict(chunk_size=chunk, every=1, aggregate=False, grouped=False)
+    with tempfile.TemporaryDirectory(prefix="repro-resume-contract-") as root:
+        full_manager = CheckpointManager(os.path.join(root, "full"), keep=8)
+        uninterrupted = ShardedIngestor(case.make(), workers=1).ingest_checkpointed(
+            case.lhs, case.rhs, manager=full_manager, **kwargs
+        )
+        part_manager = CheckpointManager(os.path.join(root, "part"), keep=8)
+        ShardedIngestor(case.make(), workers=1).ingest_checkpointed(
+            case.lhs[:boundary], case.rhs[:boundary], manager=part_manager, **kwargs
+        )
+        resumed = ShardedIngestor(case.make(), workers=1).ingest_checkpointed(
+            case.lhs, case.rhs, manager=part_manager, **kwargs
+        )
+        message = _compare_states(
+            "uninterrupted checkpointed run", uninterrupted, "resumed run", resumed
+        )
+        if message is not None:
+            return message
+        # Corrupt the newest generation's payload (manifest checksums now
+        # lie about it); resume must fall back a generation, replay more
+        # suffix, and still converge.
+        generations = part_manager.generations()
+        latest = generations[-1]
+        payload_path = os.path.join(
+            part_manager.directory, f"ckpt-{latest:06d}.payload"
+        )
+        with open(payload_path, "r+b") as handle:
+            blob = bytearray(handle.read())
+            blob[len(blob) // 2] ^= 0xFF
+            handle.seek(0)
+            handle.write(blob)
+        fallback_manager = CheckpointManager(part_manager.directory, keep=8)
+        recovered = ShardedIngestor(case.make(), workers=1).ingest_checkpointed(
+            case.lhs, case.rhs, manager=fallback_manager, **kwargs
+        )
+        if len(generations) > 1 and not any(
+            generation == latest for generation, _ in fallback_manager.last_skipped
+        ):
+            return (
+                f"corrupted generation {latest} was not skipped on resume "
+                f"(skipped: {fallback_manager.last_skipped})"
+            )
+        return _compare_states(
+            "uninterrupted checkpointed run",
+            uninterrupted,
+            "resume after corrupted latest generation",
+            recovered,
+        )
 
 
 def _check_serialize_roundtrip(case: StreamCase) -> str | None:
@@ -553,6 +623,15 @@ CONTRACTS: tuple[Contract, ...] = (
         name="serialize-roundtrip",
         description="wire-format round trip is the identity and re-encoding is stable",
         check=_check_serialize_roundtrip,
+    ),
+    Contract(
+        name="resume-single-pass",
+        description=(
+            "checkpointed ingest resumed after an interruption — including "
+            "past a corrupted latest generation — equals the uninterrupted "
+            "run bit-for-bit (all condition profiles)"
+        ),
+        check=_check_resume_single_pass,
     ),
     Contract(
         name="exact-permutation-invariance",

@@ -131,6 +131,27 @@ class TestCoordinatorQuarantine:
         assert coordinator.node_count == 1
         assert coordinator.rejected_payloads[nodes[0].name] == 1
 
+    def test_rejection_bookkeeping_is_bounded(self):
+        """Hostile node-name churn cannot grow the per-name dicts unboundedly."""
+        __, template, nodes = make_setup()
+        coordinator = Coordinator(template, max_tracked_rejections=8)
+        for index in range(50):
+            assert coordinator.receive(f"ghost-{index}", b"junk") is False
+        assert len(coordinator.rejected_payloads) == 8
+        assert len(coordinator.rejection_reasons) == 8
+        assert coordinator.rejections_dropped == 42
+        # The aggregate refusal count still reflects every rejection.
+        assert sum(coordinator.rejected_payloads.values()) == 8
+        # Already-tracked names keep updating even once the table is full.
+        assert coordinator.receive("ghost-0", b"junk again") is False
+        assert coordinator.rejected_payloads["ghost-0"] == 2
+        assert coordinator.rejections_dropped == 42
+
+    def test_max_tracked_rejections_validated(self):
+        __, template, __ = make_setup()
+        with pytest.raises(ValueError, match="max_tracked_rejections"):
+            Coordinator(template, max_tracked_rejections=0)
+
 
 class TestIngestShardedEpochs:
     def test_second_ingest_does_not_replace_first(self):
