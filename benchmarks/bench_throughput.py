@@ -29,7 +29,7 @@ from repro.baselines.exact import ExactImplicationCounter
 from repro.baselines.lossy_counting import ImplicationLossyCounting
 from repro.core.estimator import ImplicationCountEstimator
 from repro.datasets.synthetic import generate_dataset_one
-from repro.engine import ShardedIngestor
+from repro.engine import ShardedIngestor, available_workers
 from repro.experiments import run_throughput
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -114,6 +114,33 @@ def test_throughput_json_artifact(stream):
     print()
     print(table)
     print(f"[saved to {target}]")
+
+
+@pytest.mark.skipif(
+    available_workers() < 4,
+    reason="sharded scaling needs >= 4 schedulable cores",
+)
+def test_sharded_scaling_smoke(stream):
+    """The inversion regression gate: more workers must not be slower.
+
+    With the persistent runtime, dispatch cost is per-batch (one stream
+    publication, templates cached per worker), so on a machine with at
+    least 4 schedulable cores sharded-4 must beat sharded-1.  Best-of
+    timing inside :func:`run_throughput` absorbs the one-time pool warmup
+    (the first run spawns workers; later runs reuse them).
+    """
+    result, table = run_throughput(cardinality=2000, seed=0)
+    tps = dict(result.sharded_tps)
+    print()
+    print(table)
+    assert tps[4] > tps[1], (
+        f"sharded scaling inverted: 4 workers at {tps[4]:,.0f} tuples/s "
+        f"vs 1 worker at {tps[1]:,.0f} tuples/s"
+    )
+    assert tps[2] > 0.5 * tps[1], (
+        f"sharded-2 collapsed: {tps[2]:,.0f} tuples/s vs sharded-1 at "
+        f"{tps[1]:,.0f} tuples/s"
+    )
 
 
 def test_exact_updates(benchmark, stream):

@@ -4,8 +4,20 @@ The single-core fast path lives in
 :meth:`repro.core.estimator.ImplicationCountEstimator.update_batch`
 (pair aggregation + grouped dispatch); this package scales it across
 cores by reusing the distributed split/ship/merge machinery locally.
+Execution runs on a persistent shard-worker runtime
+(:mod:`repro.engine.pool`): processes are spawned once and reused, the
+stream is published once per ingest epoch over shared memory, and shard
+jobs carry only ``(offset, length)`` spans.
 """
 
+from .pool import WorkerRuntime, get_runtime, shutdown_runtime
 from .sharded import ShardedIngestor, ShardFailure, available_workers
 
-__all__ = ["ShardedIngestor", "ShardFailure", "available_workers"]
+__all__ = [
+    "ShardedIngestor",
+    "ShardFailure",
+    "available_workers",
+    "WorkerRuntime",
+    "get_runtime",
+    "shutdown_runtime",
+]

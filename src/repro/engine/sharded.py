@@ -9,10 +9,23 @@ their state back through the versioned wire format
 (:mod:`repro.core.serialize`), and the parent folds the payloads with
 :meth:`ImplicationCountEstimator.merge`.
 
+Execution goes through the persistent worker runtime
+(:mod:`repro.engine.pool`): workers are spawned once and reused across
+``ingest_payloads`` calls and checkpointed chunks, the stream is
+published once per ingest epoch (shared memory, with fork-inherited and
+inline fallbacks) so shard jobs carry only ``(offset, length)`` spans,
+and sibling templates ship to each worker at most once per geometry.
+Results are collected as workers finish but merged in shard order, so
+the final state — and the ``estimator_state_digest`` — is bit-for-bit
+independent of completion order, pool reuse, and execution vehicle
+(persistent pool == fresh pool == serial; the ``pool-execution-
+equivalence`` contract in :mod:`repro.verify.contracts` pins this).
+
 Fault tolerance (the paper's constrained-environment premise: nodes die):
 
 * each shard job has an optional per-shard timeout (``job_timeout``) so a
-  hung or killed worker cannot stall the whole ingest;
+  hung or killed worker cannot stall the whole ingest — its process is
+  killed and the pool slot respawned;
 * a failed or timed-out shard is re-ingested **serially in the parent,
   exactly once** — only the failed shards are redone, never the whole
   stream, and because every shard is deterministic (same template payload,
@@ -20,11 +33,15 @@ Fault tolerance (the paper's constrained-environment premise: nodes die):
   produced;
 * failures are injectable for tests: the ``REPRO_SHARD_FAILURE`` env var
   (comma-separated shard indexes) or a ``failure_hook`` constructor arg
-  kills chosen shards deterministically on their first attempt.
+  kills chosen shards deterministically on their first attempt.  The env
+  var is evaluated in the *parent* at dispatch time, so it keeps working
+  with long-lived workers that were forked before the variable changed.
 
 Workers also ship their metrics snapshot (:mod:`repro.observability`) back
 alongside the sketch payload; the parent folds the snapshots into the
-process-global registry, so per-shard wall times and worker-side batch
+process-global registry **in shard-index order** (never arrival order —
+``Gauge`` merges are last-write-wins, so arrival order would make
+identical runs diverge), and per-shard wall times and worker-side batch
 counters survive the process boundary just like the sketches do.
 
 Semantics caveat (inherited from :meth:`ItemsetState.merge`): the sticky
@@ -42,15 +59,15 @@ test demonstrating the caveat.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.estimator import ImplicationCountEstimator
 from ..observability import metrics as obs
+from . import pool as pool_runtime
+from .workers import ShardFailure, run_shard_job
 
 __all__ = ["ShardedIngestor", "ShardFailure", "available_workers"]
 
@@ -59,12 +76,20 @@ FAILURE_ENV = "REPRO_SHARD_FAILURE"
 
 
 def available_workers() -> int:
-    """Worker count the local machine can usefully run (>= 1)."""
+    """Worker count the local machine can usefully run (>= 1).
+
+    Prefers the scheduling affinity mask over the raw core count:
+    ``os.cpu_count()`` reports every core in the box, which overcommits
+    in cgroup- or affinity-constrained environments (containers, CI
+    runners, ``taskset``) where only a subset is actually schedulable.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(len(getaffinity(0)), 1)
+        except OSError:  # pragma: no cover - exotic kernels
+            pass
     return max(os.cpu_count() or 1, 1)
-
-
-class ShardFailure(RuntimeError):
-    """A shard worker failed (naturally or via injection)."""
 
 
 def _injected_failure_shards() -> frozenset[int]:
@@ -83,17 +108,13 @@ def _injected_failure_shards() -> frozenset[int]:
 def _ingest_shard(
     args: tuple,
 ) -> tuple[bytes, dict]:
-    """Worker body: rebuild the sibling template, ingest, serialize back.
+    """Serial shard execution (workers=1 path and the parent retry path).
 
-    Module-level so it works under both the ``fork`` and ``spawn`` start
-    methods.  The estimator crosses the process boundary in the versioned
-    wire format only — never pickled — and the return value pairs the
-    sketch payload with the worker's metrics snapshot (scoped to this job,
-    so a forked child never re-ships counts inherited from the parent).
-
-    Failure injection runs *before* any work: an injected shard behaves
-    like a worker that died on arrival, and the retry (``attempt >= 1``)
-    re-ingests from scratch.
+    Same body as the pooled workers run (:func:`workers.run_shard_job`),
+    so every execution vehicle produces byte-identical payloads and the
+    same metrics shape.  Failure injection runs *before* any work: an
+    injected shard behaves like a worker that died on arrival, and the
+    retry (``attempt >= 1``) re-ingests from scratch.
     """
     (
         shard_index,
@@ -105,22 +126,48 @@ def _ingest_shard(
         grouped,
         failure_hook,
     ) = args
-    if attempt == 0 and shard_index in _injected_failure_shards():
-        raise ShardFailure(
-            f"injected failure for shard {shard_index} (attempt {attempt})"
-        )
-    if failure_hook is not None:
-        failure_hook(shard_index, attempt)
-    with obs.scoped_registry() as registry:
-        started = time.perf_counter()
-        estimator = ImplicationCountEstimator.from_bytes(template_payload)
-        estimator.update_batch(lhs, rhs, aggregate=aggregate, grouped=grouped)
-        payload = estimator.to_bytes()
-        registry.histogram("sharded.shard_seconds").observe(
-            time.perf_counter() - started
-        )
-        registry.counter("sharded.shard_tuples").add(len(lhs))
-        return payload, registry.snapshot()
+    fail_injected = attempt == 0 and shard_index in _injected_failure_shards()
+    return run_shard_job(
+        shard_index,
+        attempt,
+        template_payload,
+        lhs,
+        rhs,
+        aggregate,
+        grouped,
+        fail_injected,
+        failure_hook,
+    )
+
+
+class _IngestSession:
+    """One ingest epoch: the stream, the template, and a lazy segment.
+
+    Publication is deferred until a pooled round actually happens, so a
+    serial ingest (one shard, tiny chunk, pool disabled) never touches
+    shared memory.  ``ingest_checkpointed`` holds one session across all
+    of its chunks — that is what makes the per-chunk dispatch cost
+    *per-span* instead of per-pool-fork.
+    """
+
+    def __init__(
+        self, template: ImplicationCountEstimator, lhs: np.ndarray, rhs: np.ndarray
+    ) -> None:
+        self.lhs = lhs
+        self.rhs = rhs
+        self.template_payload = template.spawn_sibling().to_bytes()
+        self.digest = pool_runtime.template_digest(self.template_payload)
+        self._segment: pool_runtime.StreamSegment | None = None
+
+    def segment(self) -> pool_runtime.StreamSegment:
+        if self._segment is None:
+            self._segment = pool_runtime.get_runtime().publish(self.lhs, self.rhs)
+        return self._segment
+
+    def close(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
 
 
 class ShardedIngestor:
@@ -138,11 +185,14 @@ class ShardedIngestor:
         process pools are unavailable.  The pool itself never exceeds
         :func:`available_workers` processes regardless of the shard count.
     job_timeout:
-        Seconds to wait for each shard job before declaring it dead and
-        re-ingesting that shard serially.  ``None`` (default) waits
+        Seconds each shard may run *once dispatched to a worker* before
+        it is declared dead, its worker killed and respawned, and the
+        shard re-ingested serially.  ``None`` (default) waits
         indefinitely — set a timeout whenever workers can be killed out
         from under the pool (a killed worker's result never arrives, so
-        without a timeout the parent would wait forever).
+        without a timeout the parent would wait forever; note the pooled
+        runtime *does* detect outright worker deaths without a timeout —
+        the pipe closes — a timeout is for hangs).
     failure_hook:
         ``hook(shard_index, attempt)`` called at the top of every shard
         job; raise from it (or sleep past ``job_timeout``) to simulate a
@@ -151,6 +201,11 @@ class ShardedIngestor:
         callable; the ``REPRO_SHARD_FAILURE`` env var (comma-separated
         shard indexes, first attempt only) is the pickling-free
         alternative.
+    use_pool:
+        ``False`` forces every shard to run serially in the parent while
+        keeping the exact split/ship/merge structure — the reference leg
+        of the pool-equivalence contract, and an escape hatch for hosts
+        where subprocesses are flaky rather than unavailable.
 
     Examples
     --------
@@ -166,6 +221,7 @@ class ShardedIngestor:
         *,
         job_timeout: float | None = None,
         failure_hook: Callable[[int, int], None] | None = None,
+        use_pool: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -175,6 +231,7 @@ class ShardedIngestor:
         self.workers = workers
         self.job_timeout = job_timeout
         self.failure_hook = failure_hook
+        self.use_pool = use_pool
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -201,42 +258,14 @@ class ShardedIngestor:
         ``aggregate=False``); pass ``aggregate=False, grouped=False`` for
         scalar-replay semantics within each shard.
         """
-        lhs = np.asarray(lhs, dtype=np.uint64)
-        rhs = np.asarray(rhs, dtype=np.uint64)
-        if lhs.shape != rhs.shape:
-            raise ValueError(
-                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
+        lhs, rhs = self._validated(lhs, rhs)
+        session = _IngestSession(self.template, lhs, rhs)
+        try:
+            return self._ingest_span(
+                session, 0, len(lhs), aggregate=aggregate, grouped=grouped
             )
-        shards = self._split(lhs, rhs)
-        template_payload = self.template.spawn_sibling().to_bytes()
-        jobs = [
-            (
-                index,
-                0,
-                template_payload,
-                shard_lhs,
-                shard_rhs,
-                aggregate,
-                grouped,
-                self.failure_hook,
-            )
-            for index, (shard_lhs, shard_rhs) in enumerate(shards)
-        ]
-        registry = obs.get_registry()
-        registry.counter("sharded.ingests").add(1)
-        registry.counter("sharded.jobs").add(len(jobs))
-        # Touch the retry counter so it exports as an explicit zero in
-        # --metrics-json even for runs where no shard ever failed.
-        registry.counter("engine.shard_retries")
-        if len(jobs) == 1:
-            results = [self._run_serial(jobs[0])]
-        else:
-            results = self._run_pool(jobs)
-        payloads = []
-        for index, (payload, worker_snapshot) in enumerate(results):
-            registry.merge_snapshot(worker_snapshot)
-            payloads.append((f"shard-{index}", payload))
-        return payloads
+        finally:
+            session.close()
 
     def ingest(
         self,
@@ -274,6 +303,12 @@ class ShardedIngestor:
         is committed to ``manager`` (:class:`repro.recovery.checkpoint
         .CheckpointManager`) together with the stream cursor.
 
+        The whole run is one ingest epoch: the stream is published to the
+        worker runtime once (and the sibling template shipped to each
+        worker once), with every chunk's shard jobs addressing it by
+        ``(offset, length)`` — per-chunk dispatch is a handful of tiny
+        pipe messages, not a pool fork.
+
         Calling this again over the same stream and checkpoint directory
         *is* the resume path: the latest valid generation is restored
         (torn or corrupt generations fall back automatically), and only
@@ -300,12 +335,7 @@ class ShardedIngestor:
         """
         from ..recovery import crash
 
-        lhs = np.asarray(lhs, dtype=np.uint64)
-        rhs = np.asarray(rhs, dtype=np.uint64)
-        if lhs.shape != rhs.shape:
-            raise ValueError(
-                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
-            )
+        lhs, rhs = self._validated(lhs, rhs)
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if every < 1:
@@ -346,47 +376,88 @@ class ShardedIngestor:
         if len(lhs) == 0:
             return merged
 
-        chunks_since_save = 0
-        while cursor < len(lhs):
-            chunk_index = cursor // chunk_size
-            end = min((chunk_index + 1) * chunk_size, len(lhs))
-            for _, payload in self.ingest_payloads(
-                lhs[cursor:end], rhs[cursor:end], aggregate=aggregate, grouped=grouped
-            ):
-                merged.merge(ImplicationCountEstimator.from_bytes(payload))
-            cursor = end
-            registry.counter("engine.chunks_ingested").add(1)
-            crash.maybe_crash(f"chunk:{chunk_index}")
-            chunks_since_save += 1
-            if chunks_since_save >= every or cursor == len(lhs):
-                manager.save(
-                    merged,
-                    cursor=cursor,
-                    epoch={"chunk_index": chunk_index},
-                    extra=shape,
-                )
-                chunks_since_save = 0
+        session = _IngestSession(self.template, lhs, rhs)
+        try:
+            chunks_since_save = 0
+            while cursor < len(lhs):
+                chunk_index = cursor // chunk_size
+                end = min((chunk_index + 1) * chunk_size, len(lhs))
+                for _, payload in self._ingest_span(
+                    session, cursor, end, aggregate=aggregate, grouped=grouped
+                ):
+                    merged.merge(ImplicationCountEstimator.from_bytes(payload))
+                cursor = end
+                registry.counter("engine.chunks_ingested").add(1)
+                crash.maybe_crash(f"chunk:{chunk_index}")
+                chunks_since_save += 1
+                if chunks_since_save >= every or cursor == len(lhs):
+                    manager.save(
+                        merged,
+                        cursor=cursor,
+                        epoch={"chunk_index": chunk_index},
+                        extra=shape,
+                    )
+                    chunks_since_save = 0
+        finally:
+            session.close()
         return merged
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _split(
-        self, lhs: np.ndarray, rhs: np.ndarray
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Contiguous, near-equal shards (at most ``self.workers`` of them)."""
-        shard_count = max(min(self.workers, len(lhs)), 1)
-        return list(
-            zip(
-                np.array_split(lhs, shard_count),
-                np.array_split(rhs, shard_count),
+    @staticmethod
+    def _validated(lhs: np.ndarray, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        lhs = np.asarray(lhs, dtype=np.uint64)
+        rhs = np.asarray(rhs, dtype=np.uint64)
+        if lhs.shape != rhs.shape:
+            raise ValueError(
+                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
             )
-        )
+        return lhs, rhs
+
+    def _spans(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Contiguous, near-equal ``(offset, length)`` shards of a span.
+
+        Matches ``np.array_split`` boundaries exactly (the pre-runtime
+        split), so the merge structure — and therefore the state digest —
+        is unchanged across the transport rewrite.
+        """
+        length = end - start
+        count = max(min(self.workers, length), 1)
+        base, remainder = divmod(length, count)
+        spans = []
+        offset = start
+        for index in range(count):
+            size = base + (1 if index < remainder else 0)
+            spans.append((offset, size))
+            offset += size
+        return spans
 
     def _pool_processes(self, job_count: int) -> int:
         """Pool size: one process per shard, capped at the machine's cores."""
         return max(min(job_count, available_workers()), 1)
+
+    def _serial_job(
+        self,
+        session: _IngestSession,
+        shard_index: int,
+        span: tuple[int, int],
+        aggregate: bool,
+        grouped: bool,
+    ) -> tuple:
+        """An in-parent job tuple (the `_ingest_shard` / retry format)."""
+        offset, length = span
+        return (
+            shard_index,
+            0,
+            session.template_payload,
+            session.lhs[offset : offset + length],
+            session.rhs[offset : offset + length],
+            aggregate,
+            grouped,
+            self.failure_hook,
+        )
 
     def _retry_serially(self, job: tuple, error: BaseException) -> tuple[bytes, dict]:
         """Second (and last) attempt for a failed shard, in the parent.
@@ -416,36 +487,93 @@ class ShardedIngestor:
         except Exception as error:
             return self._retry_serially(job, error)
 
-    def _run_pool(self, jobs: Sequence[tuple]) -> list[tuple[bytes, dict]]:
-        """Run shard jobs in a process pool; failed shards retry serially.
+    def _ingest_span(
+        self,
+        session: _IngestSession,
+        start: int,
+        end: int,
+        *,
+        aggregate: bool,
+        grouped: bool,
+    ) -> list[tuple[str, bytes]]:
+        """One sharded round over ``[start, end)`` of the session's stream."""
+        spans = self._spans(start, end)
+        registry = obs.get_registry()
+        registry.counter("sharded.ingests").add(1)
+        registry.counter("sharded.jobs").add(len(spans))
+        # Touch the retry counter so it exports as an explicit zero in
+        # --metrics-json even for runs where no shard ever failed.
+        registry.counter("engine.shard_retries")
+        if len(spans) == 1 or not self.use_pool:
+            results = [
+                self._run_serial(
+                    self._serial_job(session, index, span, aggregate, grouped)
+                )
+                for index, span in enumerate(spans)
+            ]
+        else:
+            results = self._run_pool(session, spans, aggregate, grouped)
+        payloads = []
+        # Shard-index order, never arrival order: Gauge merges are
+        # last-write-wins, so folding by completion would make identical
+        # runs' merged telemetry diverge.  ``results`` is slot-ordered by
+        # construction (both here and in WorkerRuntime.run_shards).
+        for index, (payload, worker_snapshot) in enumerate(results):
+            registry.merge_snapshot(worker_snapshot)
+            payloads.append((f"shard-{index}", payload))
+        return payloads
 
-        Each job is submitted independently (``apply_async``) so one dead
-        worker only costs its own shard: the shard is re-ingested in the
-        parent and every healthy worker's result is kept.  When no pool can
-        be created at all (no ``/dev/shm``, sandboxed fork, …) the same
-        split/ship/merge pipeline runs serially.
+    def _run_pool(
+        self,
+        session: _IngestSession,
+        spans: Sequence[tuple[int, int]],
+        aggregate: bool,
+        grouped: bool,
+    ) -> list[tuple[bytes, dict]]:
+        """Run shard spans on the persistent runtime; failures retry serially.
+
+        Every failure mode — a worker that raises, dies (pipe closed), or
+        hangs past ``job_timeout`` (killed and respawned) — costs only its
+        own shard: the shard is re-ingested in the parent and every healthy
+        worker's result is kept.  When no pool can be created at all (no
+        ``/dev/shm``, sandboxed fork, …) the same split/ship/merge pipeline
+        runs serially.
         """
+        injected = _injected_failure_shards()
+        jobs = [
+            pool_runtime.ShardJob(
+                shard_index=index,
+                attempt=0,
+                digest=session.digest,
+                template_payload=session.template_payload,
+                offset=offset,
+                length=length,
+                aggregate=aggregate,
+                grouped=grouped,
+                fail_injected=index in injected,
+                failure_hook=self.failure_hook,
+            )
+            for index, (offset, length) in enumerate(spans)
+        ]
         try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platform without fork
-            context = multiprocessing.get_context()
-        try:
-            with context.Pool(processes=self._pool_processes(len(jobs))) as pool:
-                handles = [
-                    pool.apply_async(_ingest_shard, (job,)) for job in jobs
-                ]
-                results: list[tuple[bytes, dict] | None] = [None] * len(jobs)
-                failures: list[tuple[int, BaseException]] = []
-                for index, handle in enumerate(handles):
-                    try:
-                        results[index] = handle.get(timeout=self.job_timeout)
-                    except Exception as error:
-                        # multiprocessing.TimeoutError (job overran its
-                        # budget) or the exception the worker died with.
-                        failures.append((index, error))
+            runtime = pool_runtime.get_runtime()
+            results, failures = runtime.run_shards(
+                session.segment(),
+                jobs,
+                processes=self._pool_processes(len(jobs)),
+                job_timeout=self.job_timeout,
+            )
         except (OSError, RuntimeError):  # pragma: no cover - no subprocesses
             # Constrained environments: keep the pipeline, just serially.
-            return [self._run_serial(job) for job in jobs]
+            return [
+                self._run_serial(
+                    self._serial_job(session, index, span, aggregate, grouped)
+                )
+                for index, span in enumerate(spans)
+            ]
         for index, error in failures:
-            results[index] = self._retry_serially(jobs[index], error)
+            results[index] = self._retry_serially(
+                self._serial_job(session, index, spans[index], aggregate, grouped),
+                error,
+            )
         return results  # type: ignore[return-value]

@@ -1,0 +1,265 @@
+"""Worker-side body of the persistent shard-worker runtime.
+
+This module is everything that runs *inside* a pooled worker process:
+the request/reply loop (:func:`worker_main`), the shard-transport
+resolution (shared-memory attach, fork-inherited views, inline slices),
+and the per-worker caches that make the runtime cheap to feed:
+
+* **Template cache** — sibling estimator payloads are keyed by their
+  content digest and shipped at most once per worker per epoch; every
+  later job for the same geometry carries only the digest.
+* **Segment cache** — a shared-memory stream segment is attached once
+  and reused for every ``(offset, length)`` shard job that references
+  it; switching segments detaches the old one.
+
+The loop speaks a tiny tuple protocol over one duplex pipe:
+
+* parent -> worker: ``("job", shard_index, attempt, digest,
+  template_payload | None, transport, offset, length, aggregate,
+  grouped, fail_injected, failure_hook)`` or ``("stop",)``
+* worker -> parent: ``("ok", shard_index, payload, metrics_snapshot)``
+  or ``("err", shard_index, message)``
+
+Workers are strictly one-job-in-flight: the parent never sends a second
+job before the first reply, which is what makes per-shard deadlines and
+dead-worker attribution unambiguous (see :mod:`repro.engine.pool`).
+
+The worker exits when the pipe closes (parent gone — including a parent
+SIGKILLed by the crash harness, whose file descriptors the kernel closes
+for it) or on an explicit ``("stop",)``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+from ..core.estimator import ImplicationCountEstimator
+from ..observability import metrics as obs
+
+__all__ = ["ShardFailure", "worker_main", "in_worker"]
+
+#: Sibling-template payloads kept per worker (distinct geometries seen
+#: recently); ingest epochs reuse one template, so 4 is generous.
+TEMPLATE_CACHE_SIZE = 4
+
+#: Fork-inherited stream segments: the parent publishes ``(lhs, rhs)``
+#: here *before* forking workers, and children resolve tokens against
+#: their inherited copy.  Only used when shared memory is unavailable.
+_INHERITED: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+#: True only inside a pooled worker process (set by :func:`worker_main`).
+_IN_WORKER = False
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker failed (naturally or via injection)."""
+
+
+def in_worker() -> bool:
+    """Whether the current process is a pooled shard worker.
+
+    Test hooks that simulate worker deaths (``os.kill(os.getpid(), ...)``)
+    must check this so a serial in-parent execution of the same hook does
+    not kill the calling process.
+    """
+    return _IN_WORKER
+
+
+def publish_inherited(token: str, lhs: np.ndarray, rhs: np.ndarray) -> None:
+    """Parent-side: stage arrays for fork inheritance under ``token``."""
+    _INHERITED[token] = (lhs, rhs)
+
+
+def release_inherited(token: str) -> None:
+    """Parent-side: drop a staged fork-inherited segment."""
+    _INHERITED.pop(token, None)
+
+
+class _SegmentCache:
+    """The worker's attached shared-memory segment (at most one).
+
+    A segment holds the whole ingest epoch's ``lhs`` and ``rhs`` as two
+    rows of one uint64 matrix; shard jobs only carry ``(offset, length)``
+    into it.  Attaching is once per epoch, not per job.
+    """
+
+    def __init__(self) -> None:
+        self._name: str | None = None
+        self._shm: shared_memory.SharedMemory | None = None
+        self._columns: np.ndarray | None = None
+
+    def resolve(
+        self, name: str, rows: int, offset: int, length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if name != self._name:
+            self.release()
+            # track=False (3.13+) keeps the attach out of the resource
+            # tracker — the creating parent owns the segment's lifetime.
+            # On older Pythons the plain attach re-registers the name, which
+            # is harmless under the fork context: parent and workers share
+            # one tracker process, and its cache is a set.
+            try:
+                shm = shared_memory.SharedMemory(name=name, track=False)
+            except TypeError:  # Python < 3.13: no track kwarg
+                shm = shared_memory.SharedMemory(name=name)
+            self._name = name
+            self._shm = shm
+            self._columns = np.ndarray(
+                (2, rows), dtype=np.uint64, buffer=shm.buf
+            )
+        columns = self._columns
+        assert columns is not None
+        return (
+            columns[0, offset : offset + length],
+            columns[1, offset : offset + length],
+        )
+
+    def release(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._name = None
+        self._shm = None
+        self._columns = None
+
+
+def _resolve_transport(
+    transport: tuple, offset: int, length: int, segments: _SegmentCache
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize the ``(lhs, rhs)`` shard slice a job points at."""
+    kind = transport[0]
+    if kind == "shm":
+        __, name, rows = transport
+        return segments.resolve(name, rows, offset, length)
+    if kind == "inherited":
+        token = transport[1]
+        try:
+            lhs, rhs = _INHERITED[token]
+        except KeyError:
+            raise ShardFailure(
+                f"inherited segment {token!r} is not visible in this worker "
+                f"(forked before it was published)"
+            ) from None
+        return lhs[offset : offset + length], rhs[offset : offset + length]
+    if kind == "inline":
+        return transport[1], transport[2]
+    raise ShardFailure(f"unknown shard transport {kind!r}")
+
+
+def run_shard_job(
+    shard_index: int,
+    attempt: int,
+    template_payload: bytes,
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    aggregate: bool,
+    grouped: bool,
+    fail_injected: bool,
+    failure_hook: Callable[[int, int], None] | None,
+) -> tuple[bytes, dict]:
+    """One shard, start to finish: rebuild, ingest, serialize, measure.
+
+    Shared by the pooled workers and the serial in-parent paths so every
+    execution vehicle produces byte-identical payloads and the same
+    metrics shape.  The scoped registry means a fork-inherited worker
+    ships back only what *this job* did, never counts inherited from the
+    parent.  Failure injection runs before any work: an injected shard
+    behaves like a worker that died on arrival.
+    """
+    if fail_injected:
+        raise ShardFailure(
+            f"injected failure for shard {shard_index} (attempt {attempt})"
+        )
+    if failure_hook is not None:
+        failure_hook(shard_index, attempt)
+    with obs.scoped_registry() as registry:
+        started = time.perf_counter()
+        estimator = ImplicationCountEstimator.from_bytes(template_payload)
+        estimator.update_batch(lhs, rhs, aggregate=aggregate, grouped=grouped)
+        payload = estimator.to_bytes()
+        registry.histogram("sharded.shard_seconds").observe(
+            time.perf_counter() - started
+        )
+        registry.counter("sharded.shard_tuples").add(len(lhs))
+        # Folded last-write-wins by the parent in shard-index order, so the
+        # merged value is deterministically the highest shard index — the
+        # regression canary for arrival-order snapshot folding.
+        registry.gauge("sharded.last_shard_folded").set(shard_index)
+        return payload, registry.snapshot()
+
+
+def worker_main(conn) -> None:
+    """The pooled worker's request/reply loop (process entry point)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    templates: OrderedDict[str, bytes] = OrderedDict()
+    segments = _SegmentCache()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(message, tuple) or not message:
+                break
+            if message[0] == "stop":
+                break
+            (
+                __,
+                shard_index,
+                attempt,
+                digest,
+                template_payload,
+                transport,
+                offset,
+                length,
+                aggregate,
+                grouped,
+                fail_injected,
+                failure_hook,
+            ) = message
+            # Cache the template *before* running the job: an injected
+            # failure must not force the retry epoch to re-ship it.
+            if template_payload is not None:
+                templates[digest] = template_payload
+                templates.move_to_end(digest)
+                while len(templates) > TEMPLATE_CACHE_SIZE:
+                    templates.popitem(last=False)
+            try:
+                cached = templates.get(digest)
+                if cached is None:
+                    raise ShardFailure(
+                        f"template {digest[:12]} missing from worker cache"
+                    )
+                lhs, rhs = _resolve_transport(transport, offset, length, segments)
+                payload, snapshot = run_shard_job(
+                    shard_index,
+                    attempt,
+                    cached,
+                    lhs,
+                    rhs,
+                    aggregate,
+                    grouped,
+                    fail_injected,
+                    failure_hook,
+                )
+                reply = ("ok", shard_index, payload, snapshot)
+            except Exception as error:
+                reply = ("err", shard_index, f"{type(error).__name__}: {error}")
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+                break
+    finally:
+        segments.release()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

@@ -50,17 +50,26 @@ def sliding_counts(
     """Evaluate ``statistic`` over a sliding window of the stream.
 
     Yields ``(end_position, statistic(window))`` every ``step`` tuples once
-    the first full window has been seen.  Materializes one window — intended
-    for analysis/reporting, not the constrained ingest path.
+    the first full window has been seen.  Like :func:`tumbling`'s tail
+    emission, the final full window is emitted once at end-of-stream even
+    when the stream length is not a ``step`` multiple (streams shorter
+    than ``size`` never fill a window and yield nothing).  Materializes
+    one window — intended for analysis/reporting, not the constrained
+    ingest path.
     """
     if size < 1:
         raise ValueError(f"size must be >= 1, got {size}")
     if step < 1:
         raise ValueError(f"step must be >= 1, got {step}")
     window: list[T] = []
+    position = 0
+    emitted_at = 0
     for position, item in enumerate(stream, start=1):
         window.append(item)
         if len(window) > size:
             del window[: len(window) - size]
         if len(window) == size and position % step == 0:
+            emitted_at = position
             yield position, statistic(list(window))
+    if len(window) == size and position > emitted_at:
+        yield position, statistic(list(window))

@@ -34,6 +34,7 @@ from ..core.conditions import ImplicationConditions, ItemsetStatus
 from ..core.estimator import ImplicationCountEstimator
 from ..core.serialize import estimator_state_digest
 from ..distributed.coordinator import Coordinator
+from ..engine import pool as engine_pool
 from ..engine.sharded import ShardedIngestor
 from ..sketch.fm import PCSA
 from ..sketch.kmv import KMinimumValues
@@ -231,6 +232,32 @@ def _check_shard_merge(case: StreamCase) -> str | None:
     return _compare_states(
         "single-pass", single, "coordinator merge", coordinator.merged_estimator()
     )
+
+
+def _check_pool_execution_equivalence(case: StreamCase) -> str | None:
+    """persistent pool == fresh pool == serial in-parent execution.
+
+    Unlike ``shard-merge`` this carries *no* theta or fringe scope: all
+    three legs run the identical split/ingest/merge structure — the same
+    shard spans, the same per-shard scalar work, the same shard-index
+    merge order — and differ only in the execution vehicle (pooled worker
+    processes, freshly spawned or reused, versus the in-parent serial
+    path).  Any divergence is therefore transport or lifecycle breakage
+    (template cache serving the wrong geometry, shared-memory spans
+    misaligned, results folded in arrival order), never a documented
+    approximation.
+    """
+    template = case.make()
+    serial = ShardedIngestor(template, workers=3, use_pool=False).ingest(
+        case.lhs, case.rhs
+    )
+    engine_pool.shutdown_runtime()
+    fresh = ShardedIngestor(template, workers=3).ingest(case.lhs, case.rhs)
+    message = _compare_states("serial execution", serial, "fresh pool", fresh)
+    if message is not None:
+        return message
+    reused = ShardedIngestor(template, workers=3).ingest(case.lhs, case.rhs)
+    return _compare_states("serial execution", serial, "reused pool", reused)
 
 
 def _check_resume_single_pass(case: StreamCase) -> str | None:
@@ -618,6 +645,15 @@ CONTRACTS: tuple[Contract, ...] = (
         ),
         check=_check_shard_merge,
         applies=lambda case: case.theta_zero,
+    ),
+    Contract(
+        name="pool-execution-equivalence",
+        description=(
+            "sharded ingest through the persistent worker pool (fresh and "
+            "reused) equals serial in-parent execution bit-for-bit "
+            "(all condition profiles)"
+        ),
+        check=_check_pool_execution_equivalence,
     ),
     Contract(
         name="serialize-roundtrip",

@@ -156,6 +156,26 @@ class TestWindows:
         results = list(sliding_counts(range(10), size=4, step=2, statistic=sum))
         assert results == [(4, 0 + 1 + 2 + 3), (6, 2 + 3 + 4 + 5), (8, 4 + 5 + 6 + 7), (10, 6 + 7 + 8 + 9)]
 
+    def test_sliding_counts_aligned_end_emits_no_duplicate_tail(self):
+        """End-of-stream on a step boundary: the last emission IS the tail."""
+        results = list(sliding_counts(range(8), size=4, step=2, statistic=sum))
+        assert results == [(4, 6), (6, 14), (8, 22)]
+
+    def test_sliding_counts_unaligned_end_emits_tail_window(self):
+        """End-of-stream off the step boundary must still emit the final
+        full window (mirrors tumbling's documented tail emission)."""
+        results = list(sliding_counts(range(9), size=4, step=2, statistic=sum))
+        # Periodic emissions at 4, 6, 8 — plus the tail [5, 6, 7, 8] at 9.
+        assert results == [(4, 6), (6, 14), (8, 22), (9, 26)]
+        # step > stream progression: only the tail is ever emitted.
+        late = list(sliding_counts(range(5), size=3, step=100, statistic=sum))
+        assert late == [(5, 2 + 3 + 4)]
+
+    def test_sliding_counts_short_stream_emits_nothing(self):
+        """A stream shorter than the window never fills one: no tail."""
+        assert list(sliding_counts(range(3), size=4, step=2, statistic=sum)) == []
+        assert list(sliding_counts([], size=2, step=1, statistic=len)) == []
+
     def test_sliding_validation(self):
         with pytest.raises(ValueError):
             list(sliding_counts([1], size=0, step=1, statistic=len))

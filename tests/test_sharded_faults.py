@@ -10,15 +10,22 @@ where nothing failed.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import time
 
 import pytest
 
+from repro.core.conditions import ImplicationConditions
 from repro.core.estimator import ImplicationCountEstimator
+from repro.core.serialize import estimator_state_digest
 from repro.datasets.synthetic import generate_dataset_one
 from repro.engine import ShardedIngestor, ShardFailure, available_workers
+from repro.engine import pool as pool_module
 from repro.engine import sharded as sharded_module
+from repro.engine import workers as workers_module
 from repro.observability import MetricsRegistry, set_registry
+from repro.verify.streams import generate_stream
 
 
 def _pool_available() -> bool:
@@ -49,6 +56,21 @@ def _kill_shard_zero_always(shard_index: int, attempt: int) -> None:
 def _hang_shard_zero_first_attempt(shard_index: int, attempt: int) -> None:
     if shard_index == 0 and attempt == 0:
         time.sleep(30.0)
+
+
+def _sigkill_worker_on_shard_one(shard_index: int, attempt: int) -> None:
+    """SIGKILL the *worker process* handling shard 1's first attempt.
+
+    Guarded by ``in_worker()`` so the serial in-parent retry of the same
+    shard (and the use_pool=False reference leg) survives the hook.
+    """
+    if shard_index == 1 and attempt == 0 and workers_module.in_worker():
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _stagger_shards_inverse(shard_index: int, attempt: int) -> None:
+    """Make later shards finish *first* (arrival order != shard order)."""
+    time.sleep(0.05 * max(2 - shard_index, 0))
 
 
 @pytest.fixture()
@@ -186,3 +208,137 @@ class TestSingleWorkerPath:
         recovered = ingestor.ingest(data.lhs, data.rhs)
         assert recovered.to_bytes() == clean.to_bytes()
         assert registry.counter("sharded.shard_retries").value == 1
+
+
+class TestAvailableWorkers:
+    def test_prefers_affinity_mask_over_cpu_count(self, monkeypatch):
+        """cgroup/taskset-constrained hosts must not overcommit: the
+        schedulable-CPU set wins over the raw core count."""
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 3}, raising=False
+        )
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert available_workers() == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert available_workers() == 3
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_workers() == 1
+
+
+def _fresh_runtime():
+    """Shut the global runtime down so the next ingest starts a new pool."""
+    pool_module.shutdown_runtime()
+
+
+def make_profile_stream(profile: str, *, theta: float = 0.0, size: int = 1200):
+    lhs, rhs = generate_stream(profile, seed=5, size=size)
+    conditions = ImplicationConditions(
+        min_support=2, top_c=1, min_top_confidence=theta
+    )
+    template = ImplicationCountEstimator(conditions, num_bitmaps=8, seed=3)
+    return lhs, rhs, template
+
+
+@pytest.mark.skipif(not POOL_AVAILABLE, reason="no process pool in this environment")
+class TestPersistentPool:
+    """The persistent worker runtime: reuse, respawn, determinism."""
+
+    def test_pool_survives_across_ingest_calls(self, registry):
+        """The scaling fix itself: the second ingest reuses live workers
+        instead of forking a fresh pool."""
+        _fresh_runtime()
+        data, template = make_stream(seed=43)
+        ingestor = ShardedIngestor(template, workers=2)
+        first = ingestor.ingest(data.lhs, data.rhs)
+        pids_after_first = pool_module.get_runtime().worker_pids()
+        second = ingestor.ingest(data.lhs, data.rhs)
+        pids_after_second = pool_module.get_runtime().worker_pids()
+        assert first.to_bytes() == second.to_bytes()
+        assert pids_after_first and pids_after_first == pids_after_second
+        assert registry.counter("pool.reuses").value >= 1
+        assert registry.counter("pool.respawns").value == 0
+
+    @pytest.mark.parametrize(
+        "profile", ["uniform", "skewed", "float_trigger_dense"]
+    )
+    def test_pool_reuse_determinism_across_profiles(self, registry, profile):
+        """persistent pool == fresh pool == serial, bit-for-bit, on the
+        verify harness's adversarial stream profiles — including a sticky
+        (theta > 0) condition profile, because all three legs share one
+        merge structure."""
+        lhs, rhs, template = make_profile_stream(profile, theta=0.5)
+        serial = ShardedIngestor(template, workers=3, use_pool=False).ingest(
+            lhs, rhs
+        )
+        _fresh_runtime()
+        fresh = ShardedIngestor(template, workers=3).ingest(lhs, rhs)
+        reused = ShardedIngestor(template, workers=3).ingest(lhs, rhs)
+        assert (
+            estimator_state_digest(serial)
+            == estimator_state_digest(fresh)
+            == estimator_state_digest(reused)
+        )
+        assert registry.counter("pool.spawns").value >= 1
+        assert registry.counter("pool.reuses").value >= 1
+
+    def test_worker_sigkilled_mid_ingest_respawns_and_retries(self, registry):
+        """A pooled worker SIGKILLed mid-ingest (no timeout needed — the
+        pipe closes) costs only its shard: serial retry, slot respawned,
+        pool still healthy for the next ingest."""
+        data, template = make_stream(seed=41)
+        clean = ShardedIngestor(template, workers=3, use_pool=False).ingest(
+            data.lhs, data.rhs
+        )
+        _fresh_runtime()
+        lethal = ShardedIngestor(
+            template, workers=3, failure_hook=_sigkill_worker_on_shard_one
+        )
+        recovered = lethal.ingest(data.lhs, data.rhs)
+        assert recovered.to_bytes() == clean.to_bytes()
+        assert registry.counter("pool.respawns").value >= 1
+        assert registry.counter("sharded.shard_retries").value == 1
+        # The runtime stays serviceable: a hook-free ingest on the same
+        # (respawned) pool still matches.
+        again = ShardedIngestor(template, workers=3).ingest(data.lhs, data.rhs)
+        assert again.to_bytes() == clean.to_bytes()
+
+    def test_template_ships_once_per_worker_across_chunks(self, registry, tmp_path):
+        """The sibling payload crosses the boundary once per worker per
+        epoch — chunked checkpointed ingest must not re-ship it per job."""
+        from repro.recovery.checkpoint import CheckpointManager
+
+        _fresh_runtime()
+        lhs, rhs, template = make_profile_stream("uniform", size=1200)
+        manager = CheckpointManager(str(tmp_path / "ckpt"), keep=3)
+        ShardedIngestor(template, workers=2).ingest_checkpointed(
+            lhs, rhs, manager=manager, chunk_size=300
+        )
+        ships = registry.counter("pool.template_ships").value
+        hits = registry.counter("pool.template_hits").value
+        jobs = registry.counter("sharded.jobs").value
+        spawned = (
+            registry.counter("pool.spawns").value
+            + registry.counter("pool.respawns").value
+        )
+        assert ships + hits == jobs  # every pooled job was accounted
+        assert ships <= spawned  # at most one ship per worker process
+        assert hits >= jobs - spawned  # 4 chunks x 2 shards: the rest hit
+
+    def test_snapshots_fold_in_shard_order_not_arrival_order(self, registry):
+        """Gauge merges are last-write-wins; folding must follow shard
+        index even when later shards finish first, so identical runs
+        produce identical merged telemetry."""
+        data, template = make_stream(seed=47)
+        _fresh_runtime()
+        ingestor = ShardedIngestor(
+            template, workers=3, failure_hook=_stagger_shards_inverse
+        )
+        for _ in range(2):
+            ingestor.ingest(data.lhs, data.rhs)
+            assert registry.gauge("sharded.last_shard_folded").value == 2
