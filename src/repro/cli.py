@@ -19,7 +19,6 @@ from ``REPRO_SCALE`` / ``REPRO_TRIALS`` (see DESIGN.md §5).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
@@ -40,7 +39,9 @@ from .experiments import (
     run_table4,
     run_throughput,
     run_workload,
+    write_throughput_artifact,
 )
+from .kernels.backend import resolve as resolve_kernels
 
 __all__ = ["main"]
 
@@ -138,7 +139,19 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-json",
         metavar="PATH",
         default=None,
-        help="also write the throughput results as JSON to PATH",
+        help=(
+            "also write the throughput results as JSON to PATH "
+            "(schema v2: entries + host metadata)"
+        ),
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=["auto", "python", "compiled"],
+        default="auto",
+        help=(
+            "batch-ingest kernel backend for the throughput paths "
+            "(default: auto — compiled when it builds, python otherwise)"
+        ),
     )
     parser.add_argument(
         "--metrics-json",
@@ -166,11 +179,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.metrics_json:
             # A fresh registry scopes the export to this run alone.
             obs.reset_registry()
-        result, table = run_throughput(sharded_workers=tuple(args.workers))
+        result, table = run_throughput(
+            sharded_workers=tuple(args.workers), kernels=args.kernels
+        )
         if args.bench_json:
-            with open(args.bench_json, "w", encoding="utf-8") as handle:
-                json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            write_throughput_artifact(
+                args.bench_json,
+                result.as_dict(),
+                resolve_kernels(args.kernels).name,
+            )
         if args.metrics_json:
             with open(args.metrics_json, "w", encoding="utf-8") as handle:
                 handle.write(obs.get_registry().to_json())

@@ -31,10 +31,11 @@ from typing import Hashable, Iterable
 
 import numpy as np
 
+from ..kernels.backend import resolve as resolve_kernels
 from ..observability import metrics as obs
 from ..sketch.bitops import HASH_BITS, least_significant_bit, least_significant_bit_array
 from ..sketch.fm import pcsa_scale
-from ..sketch.hashing import HashFamily, HashFunction
+from ..sketch.hashing import HashFamily, HashFunction, coerce_encoded
 from .conditions import ImplicationConditions
 from .nips import DEFAULT_CAPACITY_SLACK, DEFAULT_FRINGE_SIZE, NIPSBitmap
 
@@ -81,6 +82,10 @@ class ImplicationCountEstimator:
     bias_correction:
         Apply the Flajolet–Martin ``phi`` correction (DESIGN.md D1).  With
         ``False`` the verbatim Algorithm 2 arithmetic is used.
+    kernels:
+        Batch-ingest backend: ``"python"``, ``"compiled"``, or ``None`` /
+        ``"auto"`` to prefer compiled with silent fallback (DESIGN.md §11).
+        Resolved once at construction; the scalar API is unaffected.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class ImplicationCountEstimator:
         seed: int = 0,
         hash_function: HashFunction | None = None,
         bias_correction: bool = True,
+        kernels: str | None = None,
     ) -> None:
         if num_bitmaps < 1 or num_bitmaps & (num_bitmaps - 1):
             raise ValueError(f"num_bitmaps must be a power of two, got {num_bitmaps}")
@@ -116,6 +122,7 @@ class ImplicationCountEstimator:
             for _ in range(num_bitmaps)
         ]
         self.tuples_seen = 0
+        self.kernels = resolve_kernels(kernels)
 
     #: Sub-chunk size for the dispatch stage of :meth:`update_batch`;
     #: small enough that fringe floats propagate into the Zone-1 filter
@@ -221,8 +228,8 @@ class ImplicationCountEstimator:
           different.  Disable (together with ``aggregate``) for guaranteed
           bit-exact scalar replay.
         """
-        lhs = np.asarray(lhs, dtype=np.uint64)
-        rhs = np.asarray(rhs, dtype=np.uint64)
+        lhs = coerce_encoded(lhs)
+        rhs = coerce_encoded(rhs)
         if lhs.shape != rhs.shape:
             raise ValueError(
                 f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
@@ -235,6 +242,13 @@ class ImplicationCountEstimator:
         registry = obs.get_registry()
         registry.counter("ingest.batches").add(1)
         registry.counter("ingest.tuples").add(len(lhs))
+        registry.gauge("kernels.backend").set(
+            1.0 if self.kernels.is_compiled else 0.0
+        )
+        if self.kernels.is_compiled and self._run_compiled(
+            lhs, rhs, aggregate, grouped, registry
+        ):
+            return
         live_counter = registry.counter("batch.live_rows")
         block_counter = registry.counter("batch.blocks")
         hashed = self.hash_function.hash_array(lhs)
@@ -307,6 +321,51 @@ class ImplicationCountEstimator:
             self._dispatch_block(
                 indexes, positions, block_lhs, block_rhs, weights, grouped
             )
+
+    def _run_compiled(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        aggregate: bool,
+        grouped: bool,
+        registry,
+    ) -> bool:
+        """Replay one batch through the C kernel; ``False`` means fall back.
+
+        A ``False`` return leaves the estimator untouched (the kernel
+        refuses states its flat encoding cannot represent — e.g. cells
+        keyed by the scalar API's arbitrary hashables — before mutating
+        anything), so the caller simply continues into the Python path.
+        The counter adds below mirror the Python path's creation rules so
+        metric snapshots stay identical across backends.
+        """
+        from ..kernels import compiled
+
+        try:
+            counters = compiled.run_update_batch(
+                self, lhs, rhs, aggregate, grouped
+            )
+        except compiled.KernelBuildError:
+            counters = None
+        if counters is None:
+            registry.counter("kernels.fallbacks").add(1)
+            return False
+        registry.gauge("kernels.jit_compile_ms").set(
+            compiled.compile_milliseconds()
+        )
+        registry.counter("batch.live_rows").add(counters["live_rows"])
+        registry.counter("batch.blocks").add(counters["blocks"])
+        if counters["grouped_calls"]:
+            registry.counter("batch.segments").add(counters["segments"])
+        if counters["candidate_calls"]:
+            registry.counter("batch.zone0_float_triggers").add(
+                counters["zone0_triggers"]
+            )
+        if counters["segment_calls"]:
+            registry.counter("batch.groups").add(counters["groups"])
+        if counters["floats"]:
+            registry.counter("nips.fringe_floats").add(counters["floats"])
+        return True
 
     def _credit_skipped(
         self, indexes: np.ndarray, weights: np.ndarray | None

@@ -104,6 +104,7 @@ class ShardJob:
     grouped: bool
     fail_injected: bool
     failure_hook: Callable[[int, int], None] | None
+    kernels: str | None = None
 
 
 # --------------------------------------------------------------------- #
@@ -364,6 +365,7 @@ class WorkerRuntime:
                 job.grouped,
                 job.fail_injected,
                 job.failure_hook,
+                job.kernels,
             )
         )
         worker.digests.add(job.digest)

@@ -65,7 +65,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.estimator import ImplicationCountEstimator
+from ..kernels.backend import resolve as resolve_kernels
 from ..observability import metrics as obs
+from ..sketch.hashing import coerce_encoded
 from . import pool as pool_runtime
 from .workers import ShardFailure, run_shard_job
 
@@ -125,6 +127,7 @@ def _ingest_shard(
         aggregate,
         grouped,
         failure_hook,
+        kernels,
     ) = args
     fail_injected = attempt == 0 and shard_index in _injected_failure_shards()
     return run_shard_job(
@@ -137,6 +140,7 @@ def _ingest_shard(
         grouped,
         fail_injected,
         failure_hook,
+        kernels,
     )
 
 
@@ -206,6 +210,13 @@ class ShardedIngestor:
         keeping the exact split/ship/merge structure — the reference leg
         of the pool-equivalence contract, and an escape hatch for hosts
         where subprocesses are flaky rather than unavailable.
+    kernels:
+        Batch-ingest backend for every shard (see
+        :mod:`repro.kernels.backend`).  Resolved here, in the parent, to
+        a concrete backend name that ships inside each shard job — so
+        pooled workers, the serial path and the parent-side retry all
+        run the same backend regardless of when the worker processes
+        were forked.  ``None`` / ``"auto"`` prefers compiled.
 
     Examples
     --------
@@ -222,6 +233,7 @@ class ShardedIngestor:
         job_timeout: float | None = None,
         failure_hook: Callable[[int, int], None] | None = None,
         use_pool: bool = True,
+        kernels: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -232,6 +244,7 @@ class ShardedIngestor:
         self.job_timeout = job_timeout
         self.failure_hook = failure_hook
         self.use_pool = use_pool
+        self.kernels_name = resolve_kernels(kernels).name
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -408,8 +421,8 @@ class ShardedIngestor:
 
     @staticmethod
     def _validated(lhs: np.ndarray, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        lhs = np.asarray(lhs, dtype=np.uint64)
-        rhs = np.asarray(rhs, dtype=np.uint64)
+        lhs = coerce_encoded(lhs)
+        rhs = coerce_encoded(rhs)
         if lhs.shape != rhs.shape:
             raise ValueError(
                 f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
@@ -457,6 +470,7 @@ class ShardedIngestor:
             aggregate,
             grouped,
             self.failure_hook,
+            self.kernels_name,
         )
 
     def _retry_serially(self, job: tuple, error: BaseException) -> tuple[bytes, dict]:
@@ -552,6 +566,7 @@ class ShardedIngestor:
                 grouped=grouped,
                 fail_injected=index in injected,
                 failure_hook=self.failure_hook,
+                kernels=self.kernels_name,
             )
             for index, (offset, length) in enumerate(spans)
         ]

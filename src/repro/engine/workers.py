@@ -16,7 +16,7 @@ The loop speaks a tiny tuple protocol over one duplex pipe:
 
 * parent -> worker: ``("job", shard_index, attempt, digest,
   template_payload | None, transport, offset, length, aggregate,
-  grouped, fail_injected, failure_hook)`` or ``("stop",)``
+  grouped, fail_injected, failure_hook, kernels)`` or ``("stop",)``
 * worker -> parent: ``("ok", shard_index, payload, metrics_snapshot)``
   or ``("err", shard_index, message)``
 
@@ -39,6 +39,8 @@ from typing import Callable
 import numpy as np
 
 from ..core.estimator import ImplicationCountEstimator
+from ..kernels.backend import KernelUnavailableError
+from ..kernels.backend import resolve as resolve_kernels
 from ..observability import metrics as obs
 
 __all__ = ["ShardFailure", "worker_main", "in_worker"]
@@ -163,6 +165,7 @@ def run_shard_job(
     grouped: bool,
     fail_injected: bool,
     failure_hook: Callable[[int, int], None] | None,
+    kernels: str | None = None,
 ) -> tuple[bytes, dict]:
     """One shard, start to finish: rebuild, ingest, serialize, measure.
 
@@ -172,6 +175,13 @@ def run_shard_job(
     ships back only what *this job* did, never counts inherited from the
     parent.  Failure injection runs before any work: an injected shard
     behaves like a worker that died on arrival.
+
+    ``kernels`` is the backend name the parent resolved (see
+    :mod:`repro.kernels.backend`), shipped through the job protocol so
+    forked workers cannot drift from the parent's selection the way an
+    environment variable read at fork time could.  A worker that cannot
+    honour ``compiled`` falls back to ``python`` — the two backends are
+    digest-identical, so the payload is unchanged either way.
     """
     if fail_injected:
         raise ShardFailure(
@@ -182,6 +192,11 @@ def run_shard_job(
     with obs.scoped_registry() as registry:
         started = time.perf_counter()
         estimator = ImplicationCountEstimator.from_bytes(template_payload)
+        try:
+            estimator.kernels = resolve_kernels(kernels)
+        except KernelUnavailableError:
+            registry.counter("kernels.fallbacks").add(1)
+            estimator.kernels = resolve_kernels("python")
         estimator.update_batch(lhs, rhs, aggregate=aggregate, grouped=grouped)
         payload = estimator.to_bytes()
         registry.histogram("sharded.shard_seconds").observe(
@@ -224,6 +239,7 @@ def worker_main(conn) -> None:
                 grouped,
                 fail_injected,
                 failure_hook,
+                kernels,
             ) = message
             # Cache the template *before* running the job: an injected
             # failure must not force the retry epoch to re-ship it.
@@ -249,6 +265,7 @@ def worker_main(conn) -> None:
                     grouped,
                     fail_injected,
                     failure_hook,
+                    kernels,
                 )
                 reply = ("ok", shard_index, payload, snapshot)
             except Exception as error:

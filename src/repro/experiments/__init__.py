@@ -13,6 +13,10 @@ from .ablations import (
     run_heavy_hitter_ablation,
     run_sketch_comparison,
     run_throughput,
+    run_kernel_speedup,
+    bench_host_metadata,
+    write_throughput_artifact,
+    read_throughput_artifact,
 )
 from .dataset_one import (
     FigurePoint,
@@ -46,6 +50,10 @@ __all__ = [
     "run_sketch_comparison",
     "run_epsdelta_ablation",
     "run_throughput",
+    "run_kernel_speedup",
+    "bench_host_metadata",
+    "write_throughput_artifact",
+    "read_throughput_artifact",
     "run_heavy_hitter_ablation",
     "run_hash_family_ablation",
     "run_aggregate_ablation",

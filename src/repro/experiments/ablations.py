@@ -17,8 +17,14 @@ argues for:
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import platform
+import socket
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -38,6 +44,10 @@ __all__ = [
     "run_sketch_comparison",
     "run_epsdelta_ablation",
     "run_throughput",
+    "run_kernel_speedup",
+    "bench_host_metadata",
+    "write_throughput_artifact",
+    "read_throughput_artifact",
     "run_heavy_hitter_ablation",
     "run_hash_family_ablation",
     "run_aggregate_ablation",
@@ -359,6 +369,7 @@ def run_throughput(
     seed: int = 0,
     sharded_workers: tuple[int, ...] = (1, 2, 4),
     repeats: int = 3,
+    kernels: str | None = None,
 ) -> tuple[ThroughputResult, str]:
     """Tuples/second of every ingest path on the Dataset-1 workload.
 
@@ -369,6 +380,10 @@ def run_throughput(
     count in ``sharded_workers``, and the exact hash-table counter.  Every
     path reports its best of ``repeats`` runs (each run on a fresh
     estimator), which filters scheduler noise and one-time numpy warmup.
+
+    ``kernels`` selects the batch-ingest backend for every estimator path
+    (see :mod:`repro.kernels.backend`); the scalar loop and the exact
+    counter are backend-independent.
     """
     from ..engine import ShardedIngestor
 
@@ -396,20 +411,20 @@ def run_throughput(
     scalar_tps = best_tps(scalar_ingest)
 
     batch_tps = best_tps(
-        lambda: ImplicationCountEstimator(data.conditions, seed=seed).update_batch(
-            data.lhs, data.rhs, aggregate=False, grouped=False
-        )
+        lambda: ImplicationCountEstimator(
+            data.conditions, seed=seed, kernels=kernels
+        ).update_batch(data.lhs, data.rhs, aggregate=False, grouped=False)
     )
     batch_aggregated_tps = best_tps(
-        lambda: ImplicationCountEstimator(data.conditions, seed=seed).update_batch(
-            data.lhs, data.rhs, aggregate=True, grouped=True
-        )
+        lambda: ImplicationCountEstimator(
+            data.conditions, seed=seed, kernels=kernels
+        ).update_batch(data.lhs, data.rhs, aggregate=True, grouped=True)
     )
 
     template = ImplicationCountEstimator(data.conditions, seed=seed)
     sharded_tps = []
     for workers in sharded_workers:
-        ingestor = ShardedIngestor(template, workers=workers)
+        ingestor = ShardedIngestor(template, workers=workers, kernels=kernels)
         sharded_tps.append(
             (workers, best_tps(lambda: ingestor.ingest(data.lhs, data.rhs)))
         )
@@ -443,3 +458,113 @@ def run_throughput(
         title=f"Ingest throughput on {len(data.lhs):,} tuples",
     )
     return result, table
+
+
+def run_kernel_speedup(
+    cardinality: int = 2000, seed: int = 0, repeats: int = 3
+) -> dict[str, float]:
+    """Full-engine tuples/second per kernel backend, same stream, same run.
+
+    Times ``update_batch(aggregate=True, grouped=True)`` once per
+    available backend over the identical Dataset-1 workload — the
+    single-run relative comparison the CI throughput smoke asserts on
+    (compiled >= 2x python), which holds on any host class, unlike an
+    absolute tuples/s floor.  The ``compiled`` key is absent on hosts
+    where that backend cannot build.
+    """
+    from ..kernels.backend import available_backends
+
+    data = generate_dataset_one(cardinality, cardinality // 2, c=2, seed=seed)
+    tuples = len(data.lhs)
+    speeds: dict[str, float] = {}
+    for backend in available_backends():
+        elapsed = []
+        for _ in range(max(repeats, 1)):
+            estimator = ImplicationCountEstimator(
+                data.conditions, seed=seed, kernels=backend
+            )
+            started = time.perf_counter()
+            estimator.update_batch(
+                data.lhs, data.rhs, aggregate=True, grouped=True
+            )
+            elapsed.append(time.perf_counter() - started)
+        speeds[backend] = tuples / min(elapsed)
+    return speeds
+
+
+# --------------------------------------------------------------------- #
+# BENCH_throughput.json (schema v2: entries + host metadata)
+# --------------------------------------------------------------------- #
+
+#: Current on-disk schema of ``BENCH_throughput.json``.
+BENCH_SCHEMA_VERSION = 2
+
+
+def bench_host_metadata(kernel_backend: str | None = None) -> dict:
+    """Host descriptor attached to every benchmark artifact (schema v2).
+
+    Labels *where* a number came from — the committed v1 artifact's
+    inverted sharded-2/4 entries were measured on a 1-schedulable-core
+    host and looked like an engine regression without this.  The hostname
+    ships as a short SHA-256 so artifacts stay comparable across runs of
+    one machine without leaking machine names into the repo.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            cores = len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic kernels
+            cores = os.cpu_count() or 1
+    else:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    if kernel_backend is None:
+        from ..kernels.backend import available_backends
+
+        kernel_backend = available_backends()[-1]
+    return {
+        "cores": cores,
+        "hostname_sha256": hashlib.sha256(
+            socket.gethostname().encode("utf-8")
+        ).hexdigest()[:16],
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernel_backend": kernel_backend,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def write_throughput_artifact(
+    path: str | Path,
+    entries: dict[str, float],
+    kernel_backend: str | None = None,
+) -> dict:
+    """Write a schema-v2 ``BENCH_throughput.json`` and return the payload."""
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "host": bench_host_metadata(kernel_backend),
+        "entries": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def read_throughput_artifact(source: str | Path | dict) -> dict:
+    """Read a throughput artifact, shimming schema v1 into the v2 shape.
+
+    v1 artifacts were a flat ``{path_name: tuples_per_second}`` mapping
+    with no metadata; they come back as ``schema == 1`` with an empty
+    ``host`` so readers can treat every artifact uniformly (and see at a
+    glance that a number is unlabeled).
+    """
+    if isinstance(source, dict):
+        raw = source
+    else:
+        raw = json.loads(Path(source).read_text())
+    if not isinstance(raw, dict):
+        raise ValueError(f"malformed throughput artifact: {type(raw).__name__}")
+    if raw.get("schema") == BENCH_SCHEMA_VERSION:
+        if not isinstance(raw.get("entries"), dict):
+            raise ValueError("schema-2 artifact is missing its entries map")
+        return raw
+    # v1: the whole document is the entries map.
+    return {"schema": 1, "host": {}, "entries": raw}

@@ -1,0 +1,22 @@
+"""Kernel layer: swap the batch-ingest hot path between backends.
+
+See DESIGN.md §11.  The python backend is the reference; the compiled
+backend is a C replay of the same algorithm, pinned bit-for-bit by the
+``kernel-backend-equivalence`` differential contract.
+"""
+
+from .backend import (
+    PYTHON,
+    Kernels,
+    KernelUnavailableError,
+    available_backends,
+    resolve,
+)
+
+__all__ = [
+    "PYTHON",
+    "Kernels",
+    "KernelUnavailableError",
+    "available_backends",
+    "resolve",
+]

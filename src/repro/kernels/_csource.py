@@ -1,0 +1,786 @@
+"""C source for the compiled NIPS/CI batch engine.
+
+The kernel is a line-for-line port of the Python hot path — the block
+filter/credit loop of :meth:`ImplicationCountEstimator.update_batch`, pair
+aggregation, grouped dispatch and the :meth:`NIPSBitmap.update_group` /
+``update_at`` cell machinery — operating on flat arrays instead of dicts.
+State is imported from the Python dicts at the start of each batch and
+exported back at the end; insertion order of the rebuilt dicts is the
+kernel's own deterministic table order, which is legal because
+``estimator_state_digest`` (and every state comparison in the test suite)
+canonicalizes insertion order away by sorting.
+
+The source string is hashed (see :mod:`repro.kernels.compiled`) so a cache
+entry is keyed to the exact kernel code that produced it.
+"""
+
+CSOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ---------------------------------------------------------------- */
+/* Data structures                                                  */
+/* ---------------------------------------------------------------- */
+
+/* Partner table slot: val == 0 means empty (weights are >= 1).      */
+typedef struct { uint64_t key; int64_t val; } Slot;
+
+typedef struct {
+    int64_t support;
+    int32_t pcount, pcap;      /* live partner count / table capacity */
+    uint8_t mult_exceeded;     /* sticky multiplicity flag            */
+    uint8_t dropped;           /* partners == None                    */
+    Slot *partners;
+} ItemState;
+
+typedef struct {
+    uint64_t *keys;
+    ItemState *vals;
+    uint8_t *used;
+    int32_t cap, count;
+} Cell;
+
+typedef struct {
+    int64_t fringe_start, rightmost, tuples_seen;
+    uint64_t value_one;        /* bit i set => cell i has value 1     */
+    Cell *cells[64];
+} Bitmap;
+
+typedef struct {
+    int64_t m, length, route_bits, fringe_size;  /* fringe_size -1 = None */
+    int64_t slack, tau, bound, max_mult, top_c;  /* bound/max_mult -1 = None */
+    double theta;
+    Bitmap *bitmaps;
+    /* counting-sort workspaces sized m*length, reset via `touched` */
+    int64_t *cellcnt, *cellstart;
+    int64_t *top_scratch;                        /* top-c selection  */
+    /* counters reported back for metric parity with the Python path */
+    int64_t c_blocks, c_live, c_grouped_calls, c_segments,
+            c_cand_calls, c_triggers, c_seg_calls, c_groups, c_floats;
+    int oom;
+} Engine;
+
+#define GOLD 0x9E3779B97F4A7C15ULL
+
+/* ---------------------------------------------------------------- */
+/* Partner tables                                                   */
+/* ---------------------------------------------------------------- */
+
+static int ptable_grow(ItemState *st) {
+    int32_t ncap = st->pcap ? st->pcap * 2 : 4;
+    Slot *ns = calloc((size_t)ncap, sizeof(Slot));
+    if (!ns) return -1;
+    for (int32_t i = 0; i < st->pcap; i++) {
+        if (st->partners[i].val) {
+            uint64_t k = st->partners[i].key;
+            int32_t j = (int32_t)((k * GOLD) >> 32) & (ncap - 1);
+            while (ns[j].val) j = (j + 1) & (ncap - 1);
+            ns[j] = st->partners[i];
+        }
+    }
+    free(st->partners);
+    st->partners = ns;
+    st->pcap = ncap;
+    return 0;
+}
+
+/* Find the slot for key, or the empty slot where it would go.       */
+static Slot *ptable_probe(ItemState *st, uint64_t key) {
+    int32_t j = (int32_t)((key * GOLD) >> 32) & (st->pcap - 1);
+    while (st->partners[j].val && st->partners[j].key != key)
+        j = (j + 1) & (st->pcap - 1);
+    return &st->partners[j];
+}
+
+static void state_drop_partners(ItemState *st) {
+    free(st->partners);
+    st->partners = NULL;
+    st->pcap = 0;
+    st->pcount = 0;
+    st->dropped = 1;
+}
+
+/* ---------------------------------------------------------------- */
+/* Cells                                                            */
+/* ---------------------------------------------------------------- */
+
+static Cell *cell_new(void) {
+    Cell *c = calloc(1, sizeof(Cell));
+    if (!c) return NULL;
+    c->cap = 8;
+    c->keys = malloc(8 * sizeof(uint64_t));
+    c->vals = malloc(8 * sizeof(ItemState));
+    c->used = calloc(8, 1);
+    if (!c->keys || !c->vals || !c->used) {
+        free(c->keys); free(c->vals); free(c->used); free(c);
+        return NULL;
+    }
+    return c;
+}
+
+static void cell_destroy(Cell *c) {
+    if (!c) return;
+    for (int32_t i = 0; i < c->cap; i++)
+        if (c->used[i]) free(c->vals[i].partners);
+    free(c->keys); free(c->vals); free(c->used); free(c);
+}
+
+static int cell_grow(Cell *c) {
+    int32_t ncap = c->cap * 2;
+    uint64_t *nk = malloc((size_t)ncap * sizeof(uint64_t));
+    ItemState *nv = malloc((size_t)ncap * sizeof(ItemState));
+    uint8_t *nu = calloc((size_t)ncap, 1);
+    if (!nk || !nv || !nu) { free(nk); free(nv); free(nu); return -1; }
+    for (int32_t i = 0; i < c->cap; i++) {
+        if (!c->used[i]) continue;
+        int32_t j = (int32_t)((c->keys[i] * GOLD) >> 32) & (ncap - 1);
+        while (nu[j]) j = (j + 1) & (ncap - 1);
+        nk[j] = c->keys[i]; nv[j] = c->vals[i]; nu[j] = 1;
+    }
+    free(c->keys); free(c->vals); free(c->used);
+    c->keys = nk; c->vals = nv; c->used = nu; c->cap = ncap;
+    return 0;
+}
+
+static ItemState *cell_find(Cell *c, uint64_t key) {
+    int32_t j = (int32_t)((key * GOLD) >> 32) & (c->cap - 1);
+    while (c->used[j]) {
+        if (c->keys[j] == key) return &c->vals[j];
+        j = (j + 1) & (c->cap - 1);
+    }
+    return NULL;
+}
+
+static ItemState *cell_insert(Cell *c, uint64_t key) {
+    if ((int64_t)(c->count + 1) * 10 >= (int64_t)c->cap * 7 && cell_grow(c))
+        return NULL;
+    int32_t j = (int32_t)((key * GOLD) >> 32) & (c->cap - 1);
+    while (c->used[j]) j = (j + 1) & (c->cap - 1);
+    c->keys[j] = key; c->used[j] = 1; c->count++;
+    ItemState *st = &c->vals[j];
+    st->support = 0; st->pcount = 0; st->pcap = 0;
+    st->mult_exceeded = 0; st->dropped = 0; st->partners = NULL;
+    return st;
+}
+
+/* ---------------------------------------------------------------- */
+/* Fringe geometry (mirrors NIPSBitmap)                             */
+/* ---------------------------------------------------------------- */
+
+static int64_t fringe_end(const Engine *e, const Bitmap *bm) {
+    if (e->fringe_size < 0) return e->length - 1;
+    int64_t end = bm->fringe_start + e->fringe_size - 1;
+    return end < e->length - 1 ? end : e->length - 1;
+}
+
+static int64_t cell_capacity(const Engine *e, const Bitmap *bm, int64_t pos) {
+    if (e->fringe_size < 0) return -1;           /* unbounded */
+    int64_t depth = fringe_end(e, bm) - pos;
+    if (depth < 0) depth = 0;
+    if (depth >= 62) return INT64_MAX;
+    int64_t cap = e->slack << depth;
+    return cap;
+}
+
+static void cell_free_at(Bitmap *bm, int64_t pos) {
+    if (bm->cells[pos]) { cell_destroy(bm->cells[pos]); bm->cells[pos] = NULL; }
+}
+
+static void advance_past_ones(Bitmap *bm) {
+    int64_t s = bm->fringe_start;
+    while (s < 64 && ((bm->value_one >> s) & 1)) {
+        bm->value_one &= ~(1ULL << s);
+        s++;
+    }
+    bm->fringe_start = s;
+}
+
+static void assign_one(Bitmap *bm, int64_t pos) {
+    cell_free_at(bm, pos);
+    bm->value_one |= 1ULL << pos;
+    if (pos == bm->fringe_start) advance_past_ones(bm);
+}
+
+static void float_to(Engine *e, Bitmap *bm, int64_t new_start) {
+    if (new_start < 0) new_start = 0;
+    if (new_start <= bm->fringe_start) return;
+    e->c_floats++;
+    for (int64_t p = bm->fringe_start; p < new_start; p++) {
+        cell_free_at(bm, p);
+        bm->value_one &= ~(1ULL << p);
+    }
+    bm->fringe_start = new_start;
+    advance_past_ones(bm);
+}
+
+/* ---------------------------------------------------------------- */
+/* Cell machinery: one observation (update_at / update_group body)  */
+/* Returns 1 if the cell got decided (caller stops), -1 on OOM.     */
+/* ---------------------------------------------------------------- */
+
+static int cell_observe(Engine *e, Bitmap *bm, int64_t pos, Cell *cell,
+                        int64_t capacity, uint64_t lkey, uint64_t rkey,
+                        int64_t w) {
+    ItemState *st = cell_find(cell, lkey);
+    if (!st) {
+        if (capacity >= 0 && cell->count >= capacity) {
+            assign_one(bm, pos);
+            return 1;
+        }
+        st = cell_insert(cell, lkey);
+        if (!st) return -1;
+    }
+    st->support += w;
+    if (!st->dropped) {
+        if (!st->pcap && ptable_grow(st)) return -1;
+        Slot *sl = ptable_probe(st, rkey);
+        if (sl->val) {
+            sl->val += w;
+        } else if (e->bound >= 0 && st->pcount >= e->bound) {
+            st->mult_exceeded = 1;
+            state_drop_partners(st);
+        } else {
+            sl->key = rkey; sl->val = w; st->pcount++;
+            if ((int64_t)st->pcount * 10 >= (int64_t)st->pcap * 7
+                && ptable_grow(st))
+                return -1;
+        }
+    }
+    if (st->support < e->tau) return 0;
+    int violated = 0;
+    if (st->mult_exceeded
+        || (e->max_mult >= 0 && !st->dropped && st->pcount > e->max_mult)) {
+        violated = 1;
+    } else if (e->theta > 0.0) {
+        double confidence = 0.0;
+        if (!st->dropped && st->pcount > 0) {
+            int64_t mass = 0;
+            if (st->pcount <= e->top_c) {
+                for (int32_t i = 0; i < st->pcap; i++)
+                    mass += st->partners[i].val ? st->partners[i].val : 0;
+            } else if (e->top_c == 1) {
+                for (int32_t i = 0; i < st->pcap; i++)
+                    if (st->partners[i].val > mass) mass = st->partners[i].val;
+            } else {
+                /* sum of the top_c largest partner counts */
+                int64_t *top = e->top_scratch;
+                int64_t filled = 0;
+                for (int32_t i = 0; i < st->pcap; i++) {
+                    int64_t v = st->partners[i].val;
+                    if (!v) continue;
+                    if (filled < e->top_c) {
+                        int64_t j = filled++;
+                        while (j > 0 && top[j - 1] < v) {
+                            top[j] = top[j - 1]; j--;
+                        }
+                        top[j] = v;
+                    } else if (v > top[e->top_c - 1]) {
+                        int64_t j = e->top_c - 1;
+                        while (j > 0 && top[j - 1] < v) {
+                            top[j] = top[j - 1]; j--;
+                        }
+                        top[j] = v;
+                    }
+                }
+                for (int64_t j = 0; j < filled; j++) mass += top[j];
+            }
+            confidence = (double)mass / (double)st->support;
+        }
+        violated = confidence < e->theta;
+    }
+    if (violated) {
+        assign_one(bm, pos);
+        return 1;
+    }
+    return 0;
+}
+
+/* update_group / update_at (cnt == 1) replay.  Returns -1 on OOM.   */
+static int update_group_c(Engine *e, int64_t b, int64_t pos,
+                          const uint64_t *lk, const uint64_t *rk,
+                          const int64_t *w, int64_t cnt) {
+    Bitmap *bm = &e->bitmaps[b];
+    int64_t total = cnt;
+    if (w) { total = 0; for (int64_t i = 0; i < cnt; i++) total += w[i]; }
+    bm->tuples_seen += total;
+    if (pos > bm->rightmost) {
+        bm->rightmost = pos;
+        if (e->fringe_size >= 0 && pos > fringe_end(e, bm))
+            float_to(e, bm, pos - e->fringe_size + 1);
+    }
+    if (pos < bm->fringe_start || ((bm->value_one >> pos) & 1)) return 0;
+    Cell *cell = bm->cells[pos];
+    if (!cell) {
+        cell = bm->cells[pos] = cell_new();
+        if (!cell) return -1;
+    }
+    int64_t capacity = cell_capacity(e, bm, pos);
+    for (int64_t i = 0; i < cnt; i++) {
+        int rc = cell_observe(e, bm, pos, cell, capacity, lk[i], rk[i],
+                              w ? w[i] : 1);
+        if (rc) return rc < 0 ? -1 : 0;
+    }
+    return 0;
+}
+
+/* ---------------------------------------------------------------- */
+/* Stable radix argsort on uint64 keys                              */
+/* ---------------------------------------------------------------- */
+
+static void radix_argsort(const uint64_t *keys, int64_t n,
+                          int64_t *order, int64_t *tmp) {
+    for (int64_t i = 0; i < n; i++) order[i] = i;
+    if (n < 2) return;
+    int64_t hist[256];
+    for (int pass = 0; pass < 8; pass++) {
+        int shift = pass * 8;
+        memset(hist, 0, sizeof hist);
+        for (int64_t i = 0; i < n; i++)
+            hist[(keys[order[i]] >> shift) & 0xFF]++;
+        if (hist[(keys[order[0]] >> shift) & 0xFF] == n) continue;
+        int64_t off = 0;
+        for (int j = 0; j < 256; j++) { int64_t t = hist[j]; hist[j] = off; off += t; }
+        for (int64_t i = 0; i < n; i++)
+            tmp[hist[(keys[order[i]] >> shift) & 0xFF]++] = order[i];
+        memcpy(order, tmp, (size_t)n * sizeof *order);
+    }
+}
+
+/* ---------------------------------------------------------------- */
+/* Engine lifecycle                                                 */
+/* ---------------------------------------------------------------- */
+
+Engine *repro_engine_new(int64_t m, int64_t length, int64_t route_bits,
+                         int64_t fringe_size, int64_t slack, int64_t tau,
+                         int64_t bound, int64_t max_mult, int64_t top_c,
+                         double theta) {
+    if (m < 1 || length < 1 || length > 64 || m * length > (1 << 20)
+        || slack < 1 || slack > (1 << 20) || top_c < 1 || top_c > (1 << 16))
+        return NULL;
+    Engine *e = calloc(1, sizeof(Engine));
+    if (!e) return NULL;
+    e->m = m; e->length = length; e->route_bits = route_bits;
+    e->fringe_size = fringe_size; e->slack = slack; e->tau = tau;
+    e->bound = bound; e->max_mult = max_mult; e->top_c = top_c;
+    e->theta = theta;
+    e->bitmaps = calloc((size_t)m, sizeof(Bitmap));
+    e->cellcnt = calloc((size_t)(m * length), sizeof(int64_t));
+    e->cellstart = malloc((size_t)(m * length) * sizeof(int64_t));
+    e->top_scratch = malloc((size_t)top_c * sizeof(int64_t));
+    if (!e->bitmaps || !e->cellcnt || !e->cellstart || !e->top_scratch) {
+        free(e->bitmaps); free(e->cellcnt); free(e->cellstart);
+        free(e->top_scratch); free(e);
+        return NULL;
+    }
+    for (int64_t b = 0; b < m; b++) e->bitmaps[b].rightmost = -1;
+    return e;
+}
+
+void repro_engine_free(Engine *e) {
+    if (!e) return;
+    for (int64_t b = 0; b < e->m; b++)
+        for (int64_t p = 0; p < e->length; p++)
+            cell_free_at(&e->bitmaps[b], p);
+    free(e->bitmaps); free(e->cellcnt); free(e->cellstart);
+    free(e->top_scratch); free(e);
+}
+
+/* ---------------------------------------------------------------- */
+/* State import                                                     */
+/* ---------------------------------------------------------------- */
+
+int repro_engine_load_bitmaps(Engine *e, const int64_t *fs, const int64_t *rm,
+                              const int64_t *ts, const uint64_t *vo) {
+    for (int64_t b = 0; b < e->m; b++) {
+        e->bitmaps[b].fringe_start = fs[b];
+        e->bitmaps[b].rightmost = rm[b];
+        e->bitmaps[b].tuples_seen = ts[b];
+        e->bitmaps[b].value_one = vo[b];
+    }
+    return 0;
+}
+
+int repro_engine_load_items(Engine *e, int64_t n_items,
+                            const int32_t *bmp, const int32_t *pos,
+                            const uint64_t *key, const int64_t *support,
+                            const uint8_t *flags, const int64_t *part_start,
+                            const uint64_t *pkey, const int64_t *pweight) {
+    for (int64_t i = 0; i < n_items; i++) {
+        Bitmap *bm = &e->bitmaps[bmp[i]];
+        Cell *cell = bm->cells[pos[i]];
+        if (!cell) {
+            cell = bm->cells[pos[i]] = cell_new();
+            if (!cell) return -1;
+        }
+        ItemState *st = cell_insert(cell, key[i]);
+        if (!st) return -1;
+        st->support = support[i];
+        st->mult_exceeded = flags[i] & 1;
+        if (flags[i] & 2) {
+            st->dropped = 1;
+        } else {
+            for (int64_t j = part_start[i]; j < part_start[i + 1]; j++) {
+                if (!st->pcap && ptable_grow(st)) return -1;
+                Slot *sl = ptable_probe(st, pkey[j]);
+                sl->key = pkey[j]; sl->val = pweight[j]; st->pcount++;
+                if ((int64_t)st->pcount * 10 >= (int64_t)st->pcap * 7
+                    && ptable_grow(st))
+                    return -1;
+            }
+        }
+    }
+    return 0;
+}
+
+/* ---------------------------------------------------------------- */
+/* Batch replay                                                     */
+/* ---------------------------------------------------------------- */
+
+typedef struct {
+    int32_t *idx, *pos;                 /* size n: routed index / cell */
+    int32_t *li, *lp;                   /* live block scratch          */
+    uint64_t *ll, *lr;
+    int64_t *lw;
+    uint64_t *akey;                     /* aggregation scratch         */
+    int64_t *aord, *atmp, *arun, *afs, *acnt;
+    uint64_t *afsu;
+    uint64_t *tl, *tr;                  /* aggregation gather output   */
+    int32_t *ti, *tp;
+    int64_t *tw;
+    int32_t *ci, *cp;                   /* chunk re-filter scratch     */
+    uint64_t *cl, *cr;
+    int64_t *cw;
+    int64_t *cuts, *touched, *gstartv, *gcountv, *sortedrow;
+    uint64_t *sl, *sr;                  /* per-group gather            */
+    int64_t *sw;
+    int64_t *starts, *thr, *running;    /* size m                      */
+} Scratch;
+
+#define CHUNK 8192
+
+static void scratch_free(Scratch *s) {
+    free(s->idx); free(s->pos); free(s->li); free(s->lp); free(s->ll);
+    free(s->lr); free(s->lw); free(s->akey); free(s->aord); free(s->atmp);
+    free(s->arun); free(s->afs); free(s->acnt); free(s->afsu);
+    free(s->tl); free(s->tr); free(s->ti); free(s->tp); free(s->tw);
+    free(s->ci); free(s->cp); free(s->cl); free(s->cr); free(s->cw);
+    free(s->cuts); free(s->touched); free(s->gstartv); free(s->gcountv);
+    free(s->sortedrow); free(s->sl); free(s->sr); free(s->sw);
+    free(s->starts); free(s->thr); free(s->running);
+}
+
+static int scratch_alloc(Scratch *s, int64_t n, int64_t m) {
+    memset(s, 0, sizeof *s);
+    size_t nn = (size_t)n, mm = (size_t)m, ch = CHUNK;
+    s->idx = malloc(nn * 4); s->pos = malloc(nn * 4);
+    s->li = malloc(nn * 4);  s->lp = malloc(nn * 4);
+    s->ll = malloc(nn * 8);  s->lr = malloc(nn * 8);  s->lw = malloc(nn * 8);
+    s->akey = malloc(nn * 8); s->aord = malloc(nn * 8); s->atmp = malloc(nn * 8);
+    s->arun = malloc(nn * 8); s->afs = malloc(nn * 8); s->acnt = malloc(nn * 8);
+    s->afsu = malloc(nn * 8);
+    s->tl = malloc(nn * 8); s->tr = malloc(nn * 8);
+    s->ti = malloc(nn * 4); s->tp = malloc(nn * 4); s->tw = malloc(nn * 8);
+    s->ci = malloc(ch * 4); s->cp = malloc(ch * 4);
+    s->cl = malloc(ch * 8); s->cr = malloc(ch * 8); s->cw = malloc(ch * 8);
+    s->cuts = malloc(ch * 8); s->touched = malloc(ch * 8);
+    s->gstartv = malloc(ch * 8); s->gcountv = malloc(ch * 8);
+    s->sortedrow = malloc(ch * 8);
+    s->sl = malloc(ch * 8); s->sr = malloc(ch * 8); s->sw = malloc(ch * 8);
+    s->starts = malloc(mm * 8); s->thr = malloc(mm * 8);
+    s->running = malloc(mm * 8);
+    if (!s->idx || !s->pos || !s->li || !s->lp || !s->ll || !s->lr || !s->lw
+        || !s->akey || !s->aord || !s->atmp || !s->arun || !s->afs
+        || !s->acnt || !s->afsu || !s->tl || !s->tr || !s->ti || !s->tp
+        || !s->tw || !s->ci || !s->cp || !s->cl || !s->cr || !s->cw
+        || !s->cuts || !s->touched || !s->gstartv || !s->gcountv
+        || !s->sortedrow || !s->sl || !s->sr || !s->sw || !s->starts
+        || !s->thr || !s->running) {
+        scratch_free(s);
+        return -1;
+    }
+    return 0;
+}
+
+/* dispatch one float-free segment: group by cell, first-occurrence order */
+static int dispatch_segment(Engine *e, Scratch *s, const int32_t *gi,
+                            const int32_t *gp, const uint64_t *gl,
+                            const uint64_t *gr, const int64_t *gw,
+                            int64_t cn) {
+    e->c_seg_calls++;
+    int64_t nt = 0;
+    for (int64_t i = 0; i < cn; i++) {
+        int64_t c = (int64_t)gi[i] * e->length + gp[i];
+        if (!e->cellcnt[c]) s->touched[nt++] = c;
+        e->cellcnt[c]++;
+    }
+    int64_t off = 0;
+    for (int64_t t = 0; t < nt; t++) {
+        int64_t c = s->touched[t];
+        s->gstartv[t] = off;
+        s->gcountv[t] = e->cellcnt[c];
+        e->cellstart[c] = off;
+        off += e->cellcnt[c];
+    }
+    for (int64_t i = 0; i < cn; i++) {
+        int64_t c = (int64_t)gi[i] * e->length + gp[i];
+        s->sortedrow[e->cellstart[c]++] = i;
+    }
+    for (int64_t t = 0; t < nt; t++) e->cellcnt[s->touched[t]] = 0;
+    e->c_groups += nt;
+    for (int64_t t = 0; t < nt; t++) {
+        int64_t gs = s->gstartv[t], gc = s->gcountv[t];
+        for (int64_t j = 0; j < gc; j++) {
+            int64_t row = s->sortedrow[gs + j];
+            s->sl[j] = gl[row];
+            s->sr[j] = gr[row];
+            if (gw) s->sw[j] = gw[row];
+        }
+        int64_t c = s->touched[t];
+        int rc = update_group_c(e, c / e->length, c % e->length, s->sl, s->sr,
+                                gw ? s->sw : NULL, gc);
+        if (rc) return rc;
+    }
+    return 0;
+}
+
+static int dispatch_groups(Engine *e, Scratch *s, const int32_t *gi,
+                           const int32_t *gp, const uint64_t *gl,
+                           const uint64_t *gr, const int64_t *gw,
+                           int64_t cn) {
+    e->c_grouped_calls++;
+    for (int64_t b = 0; b < e->m; b++) {
+        int64_t fe = fringe_end(e, &e->bitmaps[b]);
+        int64_t rm = e->bitmaps[b].rightmost;
+        s->thr[b] = rm > fe ? rm : fe;
+        s->running[b] = -1;
+    }
+    int64_t ncuts = 0;
+    int cand = 0;
+    for (int64_t i = 0; i < cn; i++) {
+        if (gp[i] > s->thr[gi[i]]) {
+            cand = 1;
+            if (gp[i] > s->running[gi[i]]) {
+                s->running[gi[i]] = gp[i];
+                if (i) s->cuts[ncuts++] = i;
+            }
+        }
+    }
+    if (cand) { e->c_cand_calls++; e->c_triggers += ncuts; }
+    e->c_segments += ncuts + 1;
+    int64_t begin = 0;
+    for (int64_t k = 0; k <= ncuts; k++) {
+        int64_t end = k < ncuts ? s->cuts[k] : cn;
+        int rc = dispatch_segment(e, s, gi + begin, gp + begin, gl + begin,
+                                  gr + begin, gw ? gw + begin : NULL,
+                                  end - begin);
+        if (rc) return rc;
+        begin = end;
+    }
+    return 0;
+}
+
+/* Collapse duplicate (lhs, rhs) pairs; mirrors _aggregate_pairs.    */
+static int64_t aggregate_pairs(Engine *e, Scratch *s, int64_t live) {
+    for (int64_t i = 0; i < live; i++)
+        s->akey[i] = s->ll[i] * GOLD ^ s->lr[i] * 0xD1B54A32D192ED03ULL;
+    radix_argsort(s->akey, live, s->aord, s->atmp);
+    int64_t nruns = 0;
+    for (int64_t i = 0; i < live; i++) {
+        if (i == 0 || s->ll[s->aord[i]] != s->ll[s->aord[i - 1]]
+            || s->lr[s->aord[i]] != s->lr[s->aord[i - 1]])
+            s->arun[nruns++] = i;
+    }
+    if (nruns == live) return -1;              /* all distinct: unchanged */
+    for (int64_t r = 0; r < nruns; r++) {
+        int64_t next = r + 1 < nruns ? s->arun[r + 1] : live;
+        s->acnt[r] = next - s->arun[r];
+        /* stable sort: first element of a run is its earliest offset */
+        s->afs[r] = s->aord[s->arun[r]];
+        s->afsu[r] = (uint64_t)s->afs[r];
+    }
+    radix_argsort(s->afsu, nruns, s->aord, s->atmp);
+    for (int64_t k = 0; k < nruns; k++) {
+        int64_t r = s->aord[k];
+        int64_t src = s->afs[r];
+        s->tl[k] = s->ll[src]; s->tr[k] = s->lr[src];
+        s->ti[k] = s->li[src]; s->tp[k] = s->lp[src];
+        s->tw[k] = s->acnt[r];
+    }
+    memcpy(s->ll, s->tl, (size_t)nruns * 8);
+    memcpy(s->lr, s->tr, (size_t)nruns * 8);
+    memcpy(s->li, s->ti, (size_t)nruns * 4);
+    memcpy(s->lp, s->tp, (size_t)nruns * 4);
+    memcpy(s->lw, s->tw, (size_t)nruns * 8);
+    return nruns;
+}
+
+int repro_engine_run_batch(Engine *e, int64_t n, const uint64_t *hashed,
+                           const uint64_t *lhs, const uint64_t *rhs,
+                           int32_t aggregate, int32_t grouped) {
+    Scratch s;
+    if (scratch_alloc(&s, n, e->m)) return -1;
+    uint64_t idx_mask = (uint64_t)(e->m - 1);
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t h = hashed[i];
+        s.idx[i] = (int32_t)(h & idx_mask);
+        uint64_t r = h >> e->route_bits;
+        uint64_t iso = (r & (0 - r)) - 1;
+        int p = __builtin_popcountll(iso);
+        if (p > e->length - 1) p = (int)(e->length - 1);
+        s.pos[i] = p;
+    }
+    int64_t off = 0, bs = 512;
+    int rc = 0;
+    while (off < n && !rc) {
+        int64_t bend = off + bs < n ? off + bs : n;
+        e->c_blocks++;
+        for (int64_t b = 0; b < e->m; b++)
+            s.starts[b] = e->bitmaps[b].fringe_start;
+        int64_t live = 0;
+        for (int64_t i = off; i < bend; i++) {
+            if (s.pos[i] >= s.starts[s.idx[i]]) {
+                s.li[live] = s.idx[i]; s.lp[live] = s.pos[i];
+                s.ll[live] = lhs[i]; s.lr[live] = rhs[i];
+                live++;
+            } else {
+                e->bitmaps[s.idx[i]].tuples_seen += 1;
+            }
+        }
+        off += bs;
+        bs *= 64;
+        if (!live) continue;
+        e->c_live += live;
+        int64_t *w = NULL;
+        if (aggregate && live > 1) {
+            int64_t nruns = aggregate_pairs(e, &s, live);
+            if (nruns >= 0) { live = nruns; w = s.lw; }
+        }
+        for (int64_t co = 0; co < live && !rc; co += CHUNK) {
+            int64_t cn = (co + CHUNK < live ? co + CHUNK : live) - co;
+            const int32_t *gi = s.li + co, *gp = s.lp + co;
+            const uint64_t *gl = s.ll + co, *gr = s.lr + co;
+            const int64_t *gw = w ? w + co : NULL;
+            if (co) {
+                for (int64_t b = 0; b < e->m; b++)
+                    s.starts[b] = e->bitmaps[b].fringe_start;
+                int64_t kept = 0;
+                for (int64_t i = 0; i < cn; i++) {
+                    if (gp[i] >= s.starts[gi[i]]) {
+                        s.ci[kept] = gi[i]; s.cp[kept] = gp[i];
+                        s.cl[kept] = gl[i]; s.cr[kept] = gr[i];
+                        if (gw) s.cw[kept] = gw[i];
+                        kept++;
+                    } else {
+                        e->bitmaps[gi[i]].tuples_seen += gw ? gw[i] : 1;
+                    }
+                }
+                if (!kept) continue;
+                gi = s.ci; gp = s.cp; gl = s.cl; gr = s.cr;
+                gw = gw ? s.cw : NULL;
+                cn = kept;
+            }
+            if (grouped) {
+                rc = dispatch_groups(e, &s, gi, gp, gl, gr, gw, cn);
+            } else {
+                for (int64_t i = 0; i < cn && !rc; i++)
+                    rc = update_group_c(e, gi[i], gp[i], gl + i, gr + i,
+                                        gw ? gw + i : NULL, 1);
+            }
+        }
+    }
+    scratch_free(&s);
+    return rc;
+}
+
+/* ---------------------------------------------------------------- */
+/* State export                                                     */
+/* ---------------------------------------------------------------- */
+
+void repro_engine_counters(Engine *e, int64_t *out) {
+    out[0] = e->c_blocks;       out[1] = e->c_live;
+    out[2] = e->c_grouped_calls; out[3] = e->c_segments;
+    out[4] = e->c_cand_calls;   out[5] = e->c_triggers;
+    out[6] = e->c_seg_calls;    out[7] = e->c_groups;
+    out[8] = e->c_floats;
+}
+
+void repro_engine_export_bitmaps(Engine *e, int64_t *fs, int64_t *rm,
+                                 int64_t *ts, uint64_t *vo) {
+    for (int64_t b = 0; b < e->m; b++) {
+        fs[b] = e->bitmaps[b].fringe_start;
+        rm[b] = e->bitmaps[b].rightmost;
+        ts[b] = e->bitmaps[b].tuples_seen;
+        vo[b] = e->bitmaps[b].value_one;
+    }
+}
+
+void repro_engine_export_counts(Engine *e, int64_t *n_items,
+                                int64_t *n_partners) {
+    int64_t items = 0, partners = 0;
+    for (int64_t b = 0; b < e->m; b++)
+        for (int64_t p = 0; p < e->length; p++) {
+            Cell *c = e->bitmaps[b].cells[p];
+            if (!c) continue;
+            items += c->count;
+            for (int32_t i = 0; i < c->cap; i++)
+                if (c->used[i] && !c->vals[i].dropped)
+                    partners += c->vals[i].pcount;
+        }
+    *n_items = items;
+    *n_partners = partners;
+}
+
+void repro_engine_export_items(Engine *e, int32_t *bmp, int32_t *pos,
+                               uint64_t *key, int64_t *support,
+                               uint8_t *flags, int64_t *part_start,
+                               uint64_t *pkey, int64_t *pweight) {
+    int64_t it = 0, pt = 0;
+    for (int64_t b = 0; b < e->m; b++)
+        for (int64_t p = 0; p < e->length; p++) {
+            Cell *c = e->bitmaps[b].cells[p];
+            if (!c) continue;
+            for (int32_t i = 0; i < c->cap; i++) {
+                if (!c->used[i]) continue;
+                ItemState *st = &c->vals[i];
+                bmp[it] = (int32_t)b; pos[it] = (int32_t)p;
+                key[it] = c->keys[i];
+                support[it] = st->support;
+                flags[it] = (uint8_t)((st->mult_exceeded ? 1 : 0)
+                                      | (st->dropped ? 2 : 0));
+                part_start[it] = pt;
+                if (!st->dropped)
+                    for (int32_t j = 0; j < st->pcap; j++)
+                        if (st->partners[j].val) {
+                            pkey[pt] = st->partners[j].key;
+                            pweight[pt] = st->partners[j].val;
+                            pt++;
+                        }
+                it++;
+            }
+        }
+    part_start[it] = pt;
+}
+
+/* ---------------------------------------------------------------- */
+/* PolynomialHash.hash_array kernel                                 */
+/* ---------------------------------------------------------------- */
+
+void repro_poly_hash(int64_t n, const uint64_t *in, uint64_t *out,
+                     int64_t degree, const uint64_t *coeffs_rev,
+                     uint64_t gamma) {
+    const uint64_t P = 2305843009213693951ULL;   /* 2**61 - 1 */
+    for (int64_t i = 0; i < n; i++) {
+        uint64_t x = in[i] % P;
+        uint64_t acc = 0;
+        for (int64_t d = 0; d < degree; d++) {
+            unsigned __int128 t = (unsigned __int128)acc * x + coeffs_rev[d];
+            acc = (uint64_t)(t % P);
+        }
+        uint64_t z = acc + gamma;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        out[i] = z ^ (z >> 31);
+    }
+}
+"""

@@ -1,0 +1,115 @@
+"""Backend registry: select the batch-ingest execution vehicle.
+
+Two backends exist.  ``python`` is the reference implementation — the
+numpy/dict code living in :mod:`repro.core.estimator` and
+:mod:`repro.core.nips`, kept verbatim and always authoritative.
+``compiled`` replays the same algorithm in C (built at first use with the
+system compiler, see :mod:`repro.kernels.compiled`) and is pinned to the
+reference bit-for-bit by the ``kernel-backend-equivalence`` contract.
+
+Selection precedence, strongest first:
+
+1. an explicit ``kernels=`` argument on the estimator / ingestor / CLI,
+2. the ``REPRO_KERNEL_BACKEND`` environment variable,
+3. auto: ``compiled`` when it builds on this host, else ``python``.
+
+Asking for ``compiled`` explicitly on a host where it cannot build raises
+:class:`KernelUnavailableError`; auto mode falls back silently and bumps
+the ``kernels.fallbacks`` counter instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..observability import metrics as obs
+
+__all__ = [
+    "KernelUnavailableError",
+    "Kernels",
+    "PYTHON",
+    "available_backends",
+    "resolve",
+]
+
+_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested backend cannot run on this host."""
+
+
+class Kernels:
+    """A resolved backend: a name plus the compiled library (or ``None``).
+
+    ``lib`` is ``None`` for the python backend; callers treat the name as
+    the dispatch key and never touch ``lib`` directly — the compiled
+    module owns the ctypes surface.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    def is_compiled(self) -> bool:
+        return self.name == "compiled"
+
+    def __repr__(self) -> str:
+        return f"Kernels({self.name!r})"
+
+
+PYTHON = Kernels("python")
+_COMPILED = Kernels("compiled")
+
+
+def _compiled_available() -> bool:
+    from . import compiled
+
+    try:
+        compiled.load_library()
+    except compiled.KernelBuildError:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends that can actually run on this host, python always first."""
+    if _compiled_available():
+        return ("python", "compiled")
+    return ("python",)
+
+
+def resolve(name: str | None = None) -> Kernels:
+    """Resolve a backend request (argument > environment > auto).
+
+    ``None`` or ``"auto"`` prefers compiled with silent fallback; the
+    explicit names are strict.
+    """
+    requested = name if name is not None else os.environ.get(_ENV_VAR)
+    if isinstance(requested, Kernels):
+        return requested
+    if requested in (None, "", "auto"):
+        if _compiled_available():
+            return _COMPILED
+        obs.get_registry().counter("kernels.fallbacks").add(1)
+        return PYTHON
+    if requested == "python":
+        return PYTHON
+    if requested == "compiled":
+        if not _compiled_available():
+            from . import compiled
+
+            try:
+                compiled.load_library()
+            except compiled.KernelBuildError as error:
+                raise KernelUnavailableError(
+                    f"compiled kernel backend requested but unavailable: "
+                    f"{error}"
+                ) from error
+        return _COMPILED
+    raise ValueError(
+        f"unknown kernel backend {requested!r}; "
+        f"expected 'python', 'compiled' or 'auto'"
+    )

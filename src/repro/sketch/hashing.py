@@ -36,6 +36,7 @@ from .bitops import HASH_BITS
 __all__ = [
     "MASK64",
     "MERSENNE_61",
+    "coerce_encoded",
     "encode_item",
     "HashFunction",
     "SplitMix64Hash",
@@ -107,6 +108,28 @@ def encode_item(item: Hashable) -> int:
     raise TypeError(f"cannot encode item of type {type(item).__name__}")
 
 
+def coerce_encoded(values) -> np.ndarray:
+    """Coerce a pre-encoded column to ``uint64``, or raise.
+
+    Integer dtypes upcast safely: numpy sign-extends, so a negative
+    ``int32`` lands on the same residue the scalar path's ``item & MASK64``
+    produces.  Float and bool inputs are rejected — ``asarray(...,
+    uint64)`` would silently truncate floats (the scalar path hashes their
+    IEEE bytes) and collapse bools onto the integers 0/1 (the scalar path
+    encodes them as a distinct type) — wrapping *differently* from the
+    scalar ``hash`` path.  Encode such items with :func:`encode_items`.
+    """
+    array = np.asarray(values)
+    if array.dtype == np.uint64:
+        return array
+    if array.dtype == np.bool_ or not np.issubdtype(array.dtype, np.integer):
+        raise TypeError(
+            f"hash_array expects a pre-encoded integer column, got dtype "
+            f"{array.dtype}; run values through encode_items() first"
+        )
+    return array.astype(np.uint64)
+
+
 class HashFunction(abc.ABC):
     """A deterministic map from hashable items to 64-bit integers.
 
@@ -130,7 +153,7 @@ class HashFunction(abc.ABC):
         The base implementation loops in Python; numeric families override
         it with wrap-around ``uint64`` arithmetic.
         """
-        values = np.asarray(values, dtype=np.uint64)
+        values = coerce_encoded(values)
         return np.fromiter(
             (self.mix(int(v)) for v in values), dtype=np.uint64, count=len(values)
         )
@@ -157,7 +180,7 @@ class SplitMix64Hash(HashFunction):
         return (z ^ (z >> 31)) & MASK64
 
     def hash_array(self, values: np.ndarray) -> np.ndarray:
-        z = np.asarray(values, dtype=np.uint64) + np.uint64(self.gamma)
+        z = coerce_encoded(values) + np.uint64(self.gamma)
         z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
         z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
         return z ^ (z >> np.uint64(31))
@@ -184,7 +207,7 @@ class MultiplyShiftHash(HashFunction):
         return (self.a * value + self.b) & MASK64
 
     def hash_array(self, values: np.ndarray) -> np.ndarray:
-        values = np.asarray(values, dtype=np.uint64)
+        values = coerce_encoded(values)
         return values * np.uint64(self.a) + np.uint64(self.b)
 
     def __repr__(self) -> str:
@@ -223,6 +246,27 @@ def _mulmod_m61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return _mod_m61(high + mid + low)
 
 
+def _poly_kernel():
+    """The compiled poly-hash kernel, or ``None`` to use the numpy path.
+
+    Honours ``REPRO_KERNEL_BACKEND=python`` (the contract's way to pin the
+    reference) without going through :func:`repro.kernels.backend.resolve`,
+    which counts auto-mode fallbacks — a per-call hash helper must not
+    inflate that counter.
+    """
+    import os
+
+    if os.environ.get("REPRO_KERNEL_BACKEND") == "python":
+        return None
+    from ..kernels import compiled
+
+    try:
+        compiled.load_library()
+    except compiled.KernelBuildError:
+        return None
+    return compiled
+
+
 class PolynomialHash(HashFunction):
     """k-wise independent polynomial hash over GF(2**61 - 1).
 
@@ -255,9 +299,17 @@ class PolynomialHash(HashFunction):
         """Vectorized Horner evaluation over GF(2**61 - 1).
 
         Bit-for-bit identical to :meth:`mix` applied element-wise; the
-        modular products run on 32-bit limbs (see :func:`_mulmod_m61`).
+        modular products run on 32-bit limbs (see :func:`_mulmod_m61`) —
+        or, when the compiled kernel backend is available, in one C Horner
+        loop over 128-bit products (pinned to this path by test and
+        contract).
         """
-        values = np.asarray(values, dtype=np.uint64)
+        values = coerce_encoded(values)
+        kernel = _poly_kernel()
+        if kernel is not None and len(values):
+            return kernel.poly_hash_array(
+                values, self.coefficients, self._finalizer.gamma
+            )
         x = _mod_m61(values)
         acc = np.zeros_like(values)
         for coefficient in reversed(self.coefficients):
@@ -290,7 +342,7 @@ class TabulationHash(HashFunction):
         return acc
 
     def hash_array(self, values: np.ndarray) -> np.ndarray:
-        values = np.asarray(values, dtype=np.uint64)
+        values = coerce_encoded(values)
         acc = np.zeros(values.shape, dtype=np.uint64)
         for byte_index in range(8):
             table = np.array(self.tables[byte_index], dtype=np.uint64)

@@ -36,6 +36,7 @@ from ..core.serialize import estimator_state_digest
 from ..distributed.coordinator import Coordinator
 from ..engine import pool as engine_pool
 from ..engine.sharded import ShardedIngestor
+from ..kernels.backend import available_backends
 from ..sketch.fm import PCSA
 from ..sketch.kmv import KMinimumValues
 from ..sketch.linear_counting import LinearCounter
@@ -145,11 +146,18 @@ def _check_batch_scalar_replay(case: StreamCase) -> str | None:
     """``update_batch(aggregate=False, grouped=False)`` is documented as
     guaranteed bit-exact scalar replay, for every condition profile."""
     scalar = _scalar_reference(case)
-    batch = case.make()
-    batch.update_batch(case.lhs, case.rhs, aggregate=False, grouped=False)
-    return _compare_states(
-        "scalar", scalar, "batch(aggregate=False, grouped=False)", batch
-    )
+    for backend in available_backends():
+        batch = case.make(kernels=backend)
+        batch.update_batch(case.lhs, case.rhs, aggregate=False, grouped=False)
+        message = _compare_states(
+            "scalar",
+            scalar,
+            f"batch(aggregate=False, grouped=False, kernels={backend})",
+            batch,
+        )
+        if message is not None:
+            return message
+    return None
 
 
 def _check_batch_scalar_grouped(case: StreamCase) -> str | None:
@@ -164,11 +172,18 @@ def _check_batch_scalar_grouped(case: StreamCase) -> str | None:
     documented guarantee rather than papering over it.)
     """
     scalar = _scalar_reference(case, fringe_size=None)
-    batch = case.make(fringe_size=None)
-    batch.update_batch(case.lhs, case.rhs, aggregate=False, grouped=True)
-    return _compare_states(
-        "scalar", scalar, "batch(aggregate=False, grouped=True)", batch
-    )
+    for backend in available_backends():
+        batch = case.make(fringe_size=None, kernels=backend)
+        batch.update_batch(case.lhs, case.rhs, aggregate=False, grouped=True)
+        message = _compare_states(
+            "scalar",
+            scalar,
+            f"batch(aggregate=False, grouped=True, kernels={backend})",
+            batch,
+        )
+        if message is not None:
+            return message
+    return None
 
 
 def _check_batch_aggregate(case: StreamCase) -> str | None:
@@ -180,17 +195,53 @@ def _check_batch_aggregate(case: StreamCase) -> str | None:
     a bounded fringe) — scoped accordingly.
     """
     scalar = _scalar_reference(case, fringe_size=None)
-    for grouped in (True, False):
-        batch = case.make(fringe_size=None)
-        batch.update_batch(case.lhs, case.rhs, aggregate=True, grouped=grouped)
-        message = _compare_states(
-            "scalar",
-            scalar,
-            f"batch(aggregate=True, grouped={grouped})",
-            batch,
-        )
-        if message is not None:
-            return message
+    for backend in available_backends():
+        for grouped in (True, False):
+            batch = case.make(fringe_size=None, kernels=backend)
+            batch.update_batch(
+                case.lhs, case.rhs, aggregate=True, grouped=grouped
+            )
+            message = _compare_states(
+                "scalar",
+                scalar,
+                f"batch(aggregate=True, grouped={grouped}, kernels={backend})",
+                batch,
+            )
+            if message is not None:
+                return message
+    return None
+
+
+def _check_kernel_backend_equivalence(case: StreamCase) -> str | None:
+    """Compiled and python backends are the same machine, different fuel.
+
+    Unlike the batch==scalar contracts this one has no theta or fringe
+    scope: both sides run the *identical* batch pipeline (same blocks,
+    same segments, same group replay order), so even the order-dependent
+    sticky semantics must land identically — the only thing allowed to
+    differ is the execution vehicle.  Passes trivially (``None``) on
+    hosts where the compiled backend cannot build.
+    """
+    if "compiled" not in available_backends():
+        return None
+    for aggregate in (False, True):
+        for grouped in (False, True):
+            python = case.make(kernels="python")
+            python.update_batch(
+                case.lhs, case.rhs, aggregate=aggregate, grouped=grouped
+            )
+            compiled = case.make(kernels="compiled")
+            compiled.update_batch(
+                case.lhs, case.rhs, aggregate=aggregate, grouped=grouped
+            )
+            message = _compare_states(
+                f"python(aggregate={aggregate}, grouped={grouped})",
+                python,
+                f"compiled(aggregate={aggregate}, grouped={grouped})",
+                compiled,
+            )
+            if message is not None:
+                return message
     return None
 
 
@@ -635,6 +686,15 @@ CONTRACTS: tuple[Contract, ...] = (
         ),
         check=_check_batch_aggregate,
         applies=lambda case: case.theta_zero,
+    ),
+    Contract(
+        name="kernel-backend-equivalence",
+        description=(
+            "compiled and python kernel backends produce identical state "
+            "digests on every batch path (all condition profiles; trivially "
+            "green where the compiled backend cannot build)"
+        ),
+        check=_check_kernel_backend_equivalence,
     ),
     Contract(
         name="shard-merge",

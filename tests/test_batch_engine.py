@@ -25,9 +25,15 @@ from repro.datasets.network import NetworkTrafficGenerator, ScenarioEvent
 from repro.datasets.synthetic import generate_dataset_one
 from repro.distributed.coordinator import Coordinator
 from repro.engine import ShardedIngestor
+from repro.kernels import available_backends
+from repro.kernels import resolve as resolve_kernels
 from repro.sketch.hashing import HashFamily, encode_items
 
 FAMILIES = ["splitmix", "tabulation", "polynomial"]
+
+#: Kernel backends runnable on this host ("python" always; "compiled"
+#: where the C kernel builds).  The equivalence suites run under each.
+BACKENDS = available_backends()
 
 
 def canonical_state(estimator: ImplicationCountEstimator):
@@ -91,12 +97,15 @@ def network_stream():
 STREAMS = {"dataset-one": dataset_one_stream, "network": network_stream}
 
 
-def make_estimator(conditions, family: str) -> ImplicationCountEstimator:
+def make_estimator(
+    conditions, family: str, kernels: str | None = None
+) -> ImplicationCountEstimator:
     return ImplicationCountEstimator(
         conditions,
         num_bitmaps=32,
         seed=9,
         hash_function=HashFamily(family, seed=9).one(),
+        kernels=kernels,
     )
 
 
@@ -107,14 +116,21 @@ def scalar_reference(conditions, family, lhs, rhs) -> ImplicationCountEstimator:
     return estimator
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("family", FAMILIES)
 @pytest.mark.parametrize("stream_name", sorted(STREAMS))
 class TestBatchEquivalence:
-    """Aggregation and grouped dispatch vs the scalar loop, bit for bit."""
+    """Aggregation and grouped dispatch vs the scalar loop, bit for bit.
+
+    Parametrized over every runnable kernel backend: the compiled C
+    engine must land on the identical state the python reference does,
+    path by path (the test-suite face of the
+    ``kernel-backend-equivalence`` contract).
+    """
 
     @pytest.mark.parametrize("permutation_seed", [None, 0, 1])
     def test_batch_paths_match_scalar(
-        self, stream_name, family, permutation_seed
+        self, stream_name, family, permutation_seed, backend
     ):
         conditions, lhs, rhs = STREAMS[stream_name]()
         if permutation_seed is not None:
@@ -129,19 +145,21 @@ class TestBatchEquivalence:
             {"aggregate": False, "grouped": True},
             {"aggregate": True, "grouped": True},
         ):
-            estimator = make_estimator(conditions, family)
+            estimator = make_estimator(conditions, family, kernels=backend)
             estimator.update_batch(lhs, rhs, **kwargs)
-            assert canonical_state(estimator) == reference, kwargs
+            assert canonical_state(estimator) == reference, (backend, kwargs)
 
-    def test_sharded_ingest_matches_scalar(self, stream_name, family):
+    def test_sharded_ingest_matches_scalar(self, stream_name, family, backend):
         conditions, lhs, rhs = STREAMS[stream_name]()
         reference = canonical_state(
             scalar_reference(conditions, family, lhs, rhs)
         )
         template = make_estimator(conditions, family)
         for workers in (1, 2):
-            merged = ShardedIngestor(template, workers=workers).ingest(lhs, rhs)
-            assert canonical_state(merged) == reference, workers
+            merged = ShardedIngestor(
+                template, workers=workers, kernels=backend
+            ).ingest(lhs, rhs)
+            assert canonical_state(merged) == reference, (backend, workers)
 
 
 class TestShardedEngine:
@@ -218,15 +236,19 @@ class TestTransientFringeGeometry:
         return ImplicationCountEstimator(self.CONDITIONS, num_bitmaps=1, seed=5)
 
     def run_all_paths(self, lhs, rhs):
-        """Scalar-reference state and the assertion over every batch path."""
+        """Scalar-reference state and the assertion over every batch path
+        under every runnable kernel backend (float timing is exactly where
+        a compiled replay could drift)."""
         scalar = self.make()
         for a, b in zip(lhs.tolist(), rhs.tolist()):
             scalar.update(a, b)
         reference = canonical_state(scalar)
-        for kwargs in ALL_PATHS:
-            estimator = self.make()
-            estimator.update_batch(lhs, rhs, **kwargs)
-            assert canonical_state(estimator) == reference, kwargs
+        for backend in BACKENDS:
+            for kwargs in ALL_PATHS:
+                estimator = self.make()
+                estimator.kernels = resolve_kernels(backend)
+                estimator.update_batch(lhs, rhs, **kwargs)
+                assert canonical_state(estimator) == reference, (backend, kwargs)
         return scalar
 
     def test_overflow_under_transient_window_then_float(self):

@@ -1,0 +1,303 @@
+"""Kernel-layer tests: backend selection, fallback, and bit-for-bit parity.
+
+The compiled backend is a C replay of the python reference (DESIGN.md
+§11).  These tests pin the selection machinery (argument > environment >
+auto), the fallback paths (no compiler, unrepresentable state), the
+dtype-coercion contract of ``hash_array``, the C polynomial-hash parity,
+and the schema-v2 benchmark artifact reader/writer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.serialize import estimator_state_digest
+from repro.datasets.synthetic import generate_dataset_one
+from repro.experiments import (
+    bench_host_metadata,
+    read_throughput_artifact,
+    write_throughput_artifact,
+)
+from repro.kernels import compiled as compiled_module
+from repro.kernels import (
+    KernelUnavailableError,
+    available_backends,
+    resolve,
+)
+from repro.observability import MetricsRegistry, set_registry
+from repro.sketch.hashing import HashFamily, coerce_encoded
+from repro.verify.harness import DifferentialHarness
+
+COMPILED_AVAILABLE = "compiled" in available_backends()
+
+needs_compiled = pytest.mark.skipif(
+    not COMPILED_AVAILABLE, reason="compiled kernel backend unavailable"
+)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def small_stream():
+    data = generate_dataset_one(200, 100, c=2, seed=7)
+    return data.conditions, data.lhs, data.rhs
+
+
+class TestBackendResolution:
+    def test_python_always_available(self):
+        assert available_backends()[0] == "python"
+        assert resolve("python").name == "python"
+        assert not resolve("python").is_compiled
+
+    def test_auto_prefers_compiled_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        resolved = resolve(None)
+        if COMPILED_AVAILABLE:
+            assert resolved.name == "compiled"
+        else:
+            assert resolved.name == "python"
+
+    def test_env_var_forces_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "python")
+        assert resolve(None).name == "python"
+        estimator = ImplicationCountEstimator(ImplicationConditions())
+        assert estimator.kernels.name == "python"
+
+    def test_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "python")
+        if COMPILED_AVAILABLE:
+            assert resolve("compiled").name == "compiled"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve("fortran")
+
+    def test_explicit_compiled_raises_when_unbuildable(self, monkeypatch):
+        def refuse():
+            raise compiled_module.KernelBuildError("no compiler (test)")
+
+        monkeypatch.setattr(compiled_module, "load_library", refuse)
+        with pytest.raises(KernelUnavailableError):
+            resolve("compiled")
+
+    def test_auto_falls_back_when_unbuildable(self, monkeypatch, registry):
+        def refuse():
+            raise compiled_module.KernelBuildError("no compiler (test)")
+
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        monkeypatch.setattr(compiled_module, "load_library", refuse)
+        assert resolve(None).name == "python"
+        assert registry.counter("kernels.fallbacks").value >= 1
+
+
+class TestColdStartFallback:
+    """A host without the compiled backend still verifies clean."""
+
+    def test_verify_smoke_with_compiled_unbuildable(self, monkeypatch):
+        def refuse():
+            raise compiled_module.KernelBuildError("no compiler (test)")
+
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        monkeypatch.setattr(compiled_module, "load_library", refuse)
+        assert available_backends() == ("python",)
+        report = DifferentialHarness(
+            base_seed=3, iterations=6, stream_size=96
+        ).run()
+        assert report.ok, [v.describe() for v in report.violations]
+
+    def test_verify_smoke_with_env_forced_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "python")
+        report = DifferentialHarness(
+            base_seed=4, iterations=6, stream_size=96
+        ).run()
+        assert report.ok, [v.describe() for v in report.violations]
+
+
+@needs_compiled
+class TestCompiledEquivalence:
+    def test_digest_matches_python_all_paths(self):
+        conditions, lhs, rhs = small_stream()
+        for aggregate in (False, True):
+            for grouped in (False, True):
+                states = {}
+                for backend in ("python", "compiled"):
+                    estimator = ImplicationCountEstimator(
+                        conditions, num_bitmaps=16, seed=3, kernels=backend
+                    )
+                    estimator.update_batch(
+                        lhs, rhs, aggregate=aggregate, grouped=grouped
+                    )
+                    states[backend] = estimator_state_digest(estimator)
+                assert states["python"] == states["compiled"], (
+                    aggregate,
+                    grouped,
+                )
+
+    def test_sequential_batches_round_trip_state(self):
+        """Multi-batch ingest exercises the C engine's state import."""
+        conditions, lhs, rhs = small_stream()
+        python = ImplicationCountEstimator(conditions, seed=1, kernels="python")
+        compiled = ImplicationCountEstimator(
+            conditions, seed=1, kernels="compiled"
+        )
+        for begin, end in ((0, 400), (400, 1000), (1000, len(lhs))):
+            python.update_batch(lhs[begin:end], rhs[begin:end])
+            compiled.update_batch(lhs[begin:end], rhs[begin:end])
+        assert estimator_state_digest(python) == estimator_state_digest(
+            compiled
+        )
+
+    def test_unrepresentable_state_falls_back(self, registry):
+        """Scalar-API string itemsets cannot ride the flat C encoding;
+        the batch after them must silently take the python path — same
+        digest as a pure-python twin, fallback counter bumped."""
+        conditions, lhs, rhs = small_stream()
+        compiled = ImplicationCountEstimator(
+            conditions, seed=1, kernels="compiled"
+        )
+        python = ImplicationCountEstimator(conditions, seed=1, kernels="python")
+        for estimator in (compiled, python):
+            estimator.update("itemset-a", "partner-1")
+            estimator.update("itemset-a", "partner-1")
+        compiled.update_batch(lhs, rhs)
+        python.update_batch(lhs, rhs)
+        assert estimator_state_digest(compiled) == estimator_state_digest(
+            python
+        )
+        assert registry.counter("kernels.fallbacks").value >= 1
+
+    def test_backend_gauge_reported(self, registry):
+        conditions, lhs, rhs = small_stream()
+        estimator = ImplicationCountEstimator(
+            conditions, seed=1, kernels="compiled"
+        )
+        estimator.update_batch(lhs, rhs)
+        assert registry.gauge("kernels.backend").value == 1.0
+        estimator = ImplicationCountEstimator(
+            conditions, seed=1, kernels="python"
+        )
+        estimator.update_batch(lhs, rhs)
+        assert registry.gauge("kernels.backend").value == 0.0
+
+
+@needs_compiled
+class TestPolynomialKernel:
+    def test_matches_numpy_path(self, monkeypatch):
+        hash_function = HashFamily("polynomial", seed=17).one()
+        values = (
+            np.arange(1, 5000, dtype=np.uint64)
+            * np.uint64(0x9E3779B97F4A7C15)
+        )
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        compiled_out = hash_function.hash_array(values)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "python")
+        numpy_out = hash_function.hash_array(values)
+        assert np.array_equal(compiled_out, numpy_out)
+
+    def test_matches_scalar_mix(self):
+        hash_function = HashFamily("polynomial", seed=23).one()
+        values = np.array([0, 1, 2**61 - 2, 2**61 - 1, 2**64 - 1], dtype=np.uint64)
+        hashed = hash_function.hash_array(values)
+        for value, output in zip(values.tolist(), hashed.tolist()):
+            assert hash_function.mix(value) == output
+
+
+class TestDtypeCoercion:
+    """The ``hash_array`` dtype-width contract (satellite fix)."""
+
+    def test_narrow_ints_upcast_like_scalar(self):
+        hash_function = HashFamily("splitmix", seed=5).one()
+        for dtype in (np.uint8, np.uint16, np.uint32, np.int64, np.int32):
+            values = np.array([0, 1, 100, 126], dtype=dtype)
+            hashed = hash_function.hash_array(values)
+            expected = [hash_function.mix(int(v) & (2**64 - 1)) for v in values.tolist()]
+            assert hashed.tolist() == expected, dtype
+
+    def test_negative_ints_match_scalar_wrap(self):
+        hash_function = HashFamily("splitmix", seed=5).one()
+        values = np.array([-1, -1000], dtype=np.int32)
+        hashed = hash_function.hash_array(values)
+        expected = [hash_function(-1), hash_function(-1000)]
+        assert hashed.tolist() == expected
+
+    @pytest.mark.parametrize("family", ["splitmix", "polynomial", "tabulation"])
+    def test_float_input_rejected(self, family):
+        hash_function = HashFamily(family, seed=5).one()
+        with pytest.raises(TypeError, match="encode_items"):
+            hash_function.hash_array(np.array([1.5, 2.0]))
+
+    def test_bool_input_rejected(self):
+        hash_function = HashFamily("splitmix", seed=5).one()
+        with pytest.raises(TypeError, match="encode_items"):
+            hash_function.hash_array(np.array([True, False]))
+
+    def test_update_batch_rejects_floats(self):
+        estimator = ImplicationCountEstimator(ImplicationConditions())
+        with pytest.raises(TypeError, match="encode_items"):
+            estimator.update_batch(
+                np.array([1.0, 2.0]), np.array([1, 2], dtype=np.uint64)
+            )
+
+    def test_coerce_passthrough_is_zero_copy(self):
+        values = np.array([1, 2, 3], dtype=np.uint64)
+        assert coerce_encoded(values) is values
+
+
+class TestBenchArtifactSchema:
+    """Schema v2 (entries + host metadata) with the v1 reader shim."""
+
+    def test_host_metadata_shape(self):
+        host = bench_host_metadata()
+        assert host["cores"] >= 1
+        assert len(host["hostname_sha256"]) == 16
+        assert host["kernel_backend"] in ("python", "compiled")
+        assert host["timestamp"].endswith("Z")
+
+    def test_write_then_read_round_trip(self, tmp_path):
+        target = tmp_path / "bench.json"
+        entries = {"batch": 123.0, "scalar": 45.0}
+        payload = write_throughput_artifact(target, entries, "python")
+        loaded = read_throughput_artifact(target)
+        assert loaded == payload
+        assert loaded["schema"] == 2
+        assert loaded["entries"] == entries
+        assert loaded["host"]["kernel_backend"] == "python"
+
+    def test_v1_flat_artifact_shim(self, tmp_path):
+        target = tmp_path / "bench.json"
+        target.write_text('{"scalar": 674431.2, "batch": 3021510.4}\n')
+        loaded = read_throughput_artifact(target)
+        assert loaded["schema"] == 1
+        assert loaded["host"] == {}
+        assert loaded["entries"]["scalar"] == 674431.2
+
+    def test_malformed_artifact_rejected(self, tmp_path):
+        target = tmp_path / "bench.json"
+        target.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_throughput_artifact(target)
+
+
+@needs_compiled
+class TestBuildCache:
+    def test_source_digest_keys_cache(self):
+        digest = compiled_module._source_digest()
+        assert len(digest) == 64
+        cache = compiled_module._cache_dir() / digest[:16] / "repro_kernels.so"
+        assert cache.exists()
+
+    def test_engine_rejects_absurd_geometry(self):
+        """The C engine refuses geometry outside its guards; the caller
+        falls back to python rather than crashing."""
+        lib = compiled_module.load_library()
+        assert not lib.repro_engine_new(0, 64, 6, 4, 2, 1, -1, -1, 1, 0.0)
+        assert not lib.repro_engine_new(8, 65, 3, 4, 2, 1, -1, -1, 1, 0.0)
+        assert not lib.repro_engine_new(8, 64, 3, 4, 0, 1, -1, -1, 1, 0.0)

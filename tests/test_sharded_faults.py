@@ -24,6 +24,7 @@ from repro.engine import ShardedIngestor, ShardFailure, available_workers
 from repro.engine import pool as pool_module
 from repro.engine import sharded as sharded_module
 from repro.engine import workers as workers_module
+from repro.kernels import available_backends
 from repro.observability import MetricsRegistry, set_registry
 from repro.verify.streams import generate_stream
 
@@ -264,21 +265,28 @@ class TestPersistentPool:
         assert registry.counter("pool.reuses").value >= 1
         assert registry.counter("pool.respawns").value == 0
 
+    @pytest.mark.parametrize("kernels", available_backends())
     @pytest.mark.parametrize(
         "profile", ["uniform", "skewed", "float_trigger_dense"]
     )
-    def test_pool_reuse_determinism_across_profiles(self, registry, profile):
+    def test_pool_reuse_determinism_across_profiles(
+        self, registry, profile, kernels
+    ):
         """persistent pool == fresh pool == serial, bit-for-bit, on the
         verify harness's adversarial stream profiles — including a sticky
         (theta > 0) condition profile, because all three legs share one
-        merge structure."""
+        merge structure — under every available kernel backend."""
         lhs, rhs, template = make_profile_stream(profile, theta=0.5)
-        serial = ShardedIngestor(template, workers=3, use_pool=False).ingest(
+        serial = ShardedIngestor(
+            template, workers=3, use_pool=False, kernels=kernels
+        ).ingest(lhs, rhs)
+        _fresh_runtime()
+        fresh = ShardedIngestor(template, workers=3, kernels=kernels).ingest(
             lhs, rhs
         )
-        _fresh_runtime()
-        fresh = ShardedIngestor(template, workers=3).ingest(lhs, rhs)
-        reused = ShardedIngestor(template, workers=3).ingest(lhs, rhs)
+        reused = ShardedIngestor(template, workers=3, kernels=kernels).ingest(
+            lhs, rhs
+        )
         assert (
             estimator_state_digest(serial)
             == estimator_state_digest(fresh)
