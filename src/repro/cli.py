@@ -10,6 +10,7 @@ Examples::
     repro-experiments verify --replay batch-scalar-replay-seed7.json
     repro-experiments checkpoint --checkpoint-dir ckpt --every 2 --workers 4
     repro-experiments resume --checkpoint-dir ckpt --every 2 --workers 4
+    repro-experiments serve --source profile:uniform --port 8080
     REPRO_SCALE=medium repro-experiments figure5
 
 Every command prints the same table its pytest bench prints; sizing comes
@@ -91,6 +92,11 @@ def main(argv: list[str] | None = None) -> int:
         from .recovery.cli import main as recovery_main
 
         return recovery_main(argv)
+    if argv and argv[0] == "serve":
+        # The resident serving process (--source, --port, ...).
+        from .serving.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=__doc__,

@@ -353,6 +353,19 @@ class NIPSBitmap:
             break
         return position
 
+    def state_of(self, position: int, itemset: Hashable) -> "ItemsetState | None":
+        """The tracked state of ``itemset`` at ``position``, if any.
+
+        ``None`` means the cell is not tracking the itemset — it never
+        arrived, its cell was absorbed into Zone 1, or it was evicted by
+        a fringe float.  Read-only: point queries (the serving layer's
+        top-confidence lookups) must not perturb the sketch.
+        """
+        cell = self._cells.get(position)
+        if cell is None:
+            return None
+        return cell.get(itemset)
+
     def estimate_nonimplication(self, correct_bias: bool = True) -> float:
         """Single-bitmap estimate of the non-implication count ``S-bar``."""
         from ..sketch.fm import FM_PHI

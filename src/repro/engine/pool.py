@@ -346,11 +346,9 @@ class WorkerRuntime:
     def _dispatch(self, worker: _Worker, job: ShardJob, segment: StreamSegment) -> None:
         registry = obs.get_registry()
         payload = None
-        if job.digest not in worker.digests:
+        cached = job.digest in worker.digests
+        if not cached:
             payload = job.template_payload
-            registry.counter("pool.template_ships").add(1)
-        else:
-            registry.counter("pool.template_hits").add(1)
         worker.conn.send(
             (
                 "job",
@@ -368,7 +366,16 @@ class WorkerRuntime:
                 job.kernels,
             )
         )
-        worker.digests.add(job.digest)
+        # Record ownership and telemetry only after the send succeeds: a
+        # raising send means the worker never received the template, and
+        # marking its digest as cached would make the *next* job for this
+        # geometry skip the ship — the worker (if it survived the failed
+        # send) would then sink every job on a missing template.
+        if cached:
+            registry.counter("pool.template_hits").add(1)
+        else:
+            registry.counter("pool.template_ships").add(1)
+            worker.digests.add(job.digest)
 
     def run_shards(
         self,
@@ -405,6 +412,19 @@ class WorkerRuntime:
                         (slot, ShardFailure(f"worker died before accepting shard: {error}"))
                     )
                     self._replace(worker, idle)
+                    continue
+                except Exception as error:
+                    # A non-pipe failure (e.g. an unpicklable failure_hook)
+                    # happens while serializing the message, before any
+                    # bytes hit the pipe — the worker is healthy and its
+                    # channel clean, so keep it and fail only the shard.
+                    # Letting this propagate instead would abandon every
+                    # in-flight job and desync slot bookkeeping on the
+                    # next ingest round.
+                    failures.append(
+                        (slot, ShardFailure(f"shard job could not be shipped: {error}"))
+                    )
+                    idle.append(worker)
                     continue
                 deadline = (
                     time.monotonic() + job_timeout if job_timeout is not None else None

@@ -82,6 +82,42 @@ def release_inherited(token: str) -> None:
     _INHERITED.pop(token, None)
 
 
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without registering it with a resource tracker.
+
+    Pre-3.13 fallback for ``SharedMemory(name, track=False)``: the plain
+    attach unconditionally registers the segment as if this process owned
+    it.  Unregistering *afterwards* is wrong in both tracker topologies —
+    with a fork-shared tracker it strips the creating parent's own
+    registration (the parent's later ``unlink`` raises KeyError in the
+    tracker and a parent crash leaks the segment), and with a child-owned
+    tracker the registration window still exists.  Suppressing the
+    ``register`` call for the duration of the attach leaves whoever
+    created the segment as its sole registered owner.  Workers attach
+    from a single thread, so the patch window races with nothing.
+
+    Best effort: the tracker is an implementation detail, so a Python
+    without this exact shape just keeps the (possibly noisy) registration
+    rather than failing the shard.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_register(resource_name: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - not hit here
+                original(resource_name, rtype)
+
+        resource_tracker.register = _skip_register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except Exception:  # pragma: no cover - tracker internals moved
+        return shared_memory.SharedMemory(name=name)
+
+
 class _SegmentCache:
     """The worker's attached shared-memory segment (at most one).
 
@@ -102,13 +138,17 @@ class _SegmentCache:
             self.release()
             # track=False (3.13+) keeps the attach out of the resource
             # tracker — the creating parent owns the segment's lifetime.
-            # On older Pythons the plain attach re-registers the name, which
-            # is harmless under the fork context: parent and workers share
-            # one tracker process, and its cache is a set.
+            # On older Pythons the plain attach registers the name with
+            # *this worker's* resource tracker as if the worker owned it;
+            # a tracker not shared with the parent (respawned, or started
+            # in the child) would then unlink the segment when the worker
+            # exits, yanking the published stream out from under the parent
+            # and every sibling worker mid-service.  Attach with the
+            # registration suppressed: attaching must never imply ownership.
             try:
                 shm = shared_memory.SharedMemory(name=name, track=False)
             except TypeError:  # Python < 3.13: no track kwarg
-                shm = shared_memory.SharedMemory(name=name)
+                shm = _attach_untracked(name)
             self._name = name
             self._shm = shm
             self._columns = np.ndarray(

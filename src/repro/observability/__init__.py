@@ -10,6 +10,8 @@ PATH`` exports the collected metrics after a run.
 from .metrics import (
     Counter,
     Gauge,
+    HISTOGRAM_BUCKET_BOUNDS,
+    HISTOGRAM_BUCKET_COUNT,
     Histogram,
     MetricsRegistry,
     get_registry,
@@ -21,6 +23,8 @@ from .metrics import (
 __all__ = [
     "Counter",
     "Gauge",
+    "HISTOGRAM_BUCKET_BOUNDS",
+    "HISTOGRAM_BUCKET_COUNT",
     "Histogram",
     "MetricsRegistry",
     "get_registry",

@@ -26,6 +26,7 @@ Design constraints:
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -33,12 +34,29 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HISTOGRAM_BUCKET_BOUNDS",
+    "HISTOGRAM_BUCKET_COUNT",
     "MetricsRegistry",
     "get_registry",
     "set_registry",
     "reset_registry",
     "scoped_registry",
 ]
+
+#: Shared log-spaced bucket upper bounds (inclusive) for every
+#: :class:`Histogram`: 1e-6 doubling 64 times (~1 microsecond to ~9e12 in
+#: whatever unit the caller observes — covers sub-millisecond latencies
+#: and multi-gigabyte payload sizes alike at ~2x resolution).  One fixed
+#: layout for all histograms keeps the merge well-defined with zero
+#: per-histogram configuration: any two snapshots always agree on bucket
+#: edges, so bucket counts fold by plain addition like everything else.
+HISTOGRAM_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    1e-6 * 2.0**exponent for exponent in range(64)
+)
+
+#: Total bucket count, including the final overflow bucket for values
+#: beyond the last bound.
+HISTOGRAM_BUCKET_COUNT = len(HISTOGRAM_BUCKET_BOUNDS) + 1
 
 
 class Counter:
@@ -74,15 +92,16 @@ class Gauge:
 
 
 class Histogram:
-    """Summary histogram: count / sum / min / max (merges exactly).
+    """Distribution histogram: count / sum / min / max plus fixed buckets.
 
-    Deliberately bucket-free — the engine's distributions of interest
-    (payload sizes, shard wall times) are low-cardinality enough that
-    count+sum+extrema answer the operational questions (mean, spread,
-    worst case) without per-histogram configuration.
+    The summary fields (count, sum, extrema) merge exactly and answer
+    mean/spread/worst-case; the fixed log-spaced bucket counts
+    (:data:`HISTOGRAM_BUCKET_BOUNDS` plus one overflow bucket) survive
+    snapshot/merge so quantiles stay computable from *shipped* worker
+    metrics — a merged p99 needs the distribution, not just extrema.
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -90,6 +109,7 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self.buckets = [0] * HISTOGRAM_BUCKET_COUNT
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -98,10 +118,47 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        self.buckets[bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated q-quantile from the bucket counts.
+
+        Returns the upper bound of the bucket holding the q-th observation,
+        clamped into ``[minimum, maximum]`` — within one doubling of the
+        true quantile by construction.  ``None`` when no bucketed mass
+        exists: an empty histogram, or one populated purely by merging
+        v1 summaries (which shipped no buckets).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        total = sum(self.buckets)
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(HISTOGRAM_BUCKET_BOUNDS):
+                    estimate = HISTOGRAM_BUCKET_BOUNDS[index]
+                else:  # overflow bucket: only the observed maximum bounds it
+                    estimate = (
+                        self.maximum
+                        if self.maximum is not None
+                        else HISTOGRAM_BUCKET_BOUNDS[-1]
+                    )
+                if self.minimum is not None:
+                    estimate = max(estimate, self.minimum)
+                if self.maximum is not None:
+                    estimate = min(estimate, self.maximum)
+                return estimate
+        return self.maximum  # pragma: no cover - loop always returns
 
     def __repr__(self) -> str:
         return (
@@ -185,13 +242,115 @@ class MetricsRegistry:
                     "sum": metric.total,
                     "min": metric.minimum,
                     "max": metric.maximum,
+                    "buckets": list(metric.buckets),
                 }
                 for name, metric in self._histograms.items()
             },
         }
 
-    def merge_snapshot(self, snapshot: dict) -> None:
-        """Fold a :meth:`snapshot` dict into this registry."""
+    @staticmethod
+    def _is_number(value) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def _snapshot_fault(self, snapshot) -> str | None:
+        """Why ``snapshot`` cannot be merged, or ``None`` when it can.
+
+        Checks everything the fold below will touch — section shapes,
+        value types, histogram summary layout, bucket-list length, and
+        name/kind conflicts against already-registered metrics — so the
+        fold itself can never raise part-way through.
+        """
+        if not isinstance(snapshot, dict):
+            return f"snapshot must be a dict, got {type(snapshot).__name__}"
+        tables = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+
+        def conflicted(name: str, kind: str) -> str | None:
+            for other_kind, table in tables.items():
+                if other_kind != kind and name in table:
+                    return f"{kind} {name!r} is already a {other_kind} here"
+            return None
+
+        for section, kind in (("counters", "counter"), ("gauges", "gauge")):
+            table = snapshot.get(section, {})
+            if not isinstance(table, dict):
+                return f"{section!r} must be a dict"
+            for name, value in table.items():
+                if not isinstance(name, str):
+                    return f"{section!r} key {name!r} is not a string"
+                if not self._is_number(value):
+                    return f"{kind} {name!r} value {value!r} is not numeric"
+                conflict = conflicted(name, kind)
+                if conflict is not None:
+                    return conflict
+        histograms = snapshot.get("histograms", {})
+        if not isinstance(histograms, dict):
+            return "'histograms' must be a dict"
+        for name, summary in histograms.items():
+            if not isinstance(name, str):
+                return f"'histograms' key {name!r} is not a string"
+            if not isinstance(summary, dict):
+                return f"histogram {name!r} summary is not a dict"
+            count = summary.get("count", 0)
+            if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+                return f"histogram {name!r} count {count!r} is invalid"
+            if not self._is_number(summary.get("sum", 0.0)):
+                return f"histogram {name!r} sum {summary.get('sum')!r} is not numeric"
+            for extremum in ("min", "max"):
+                value = summary.get(extremum)
+                if value is not None and not self._is_number(value):
+                    return (
+                        f"histogram {name!r} {extremum} {value!r} "
+                        f"is not numeric"
+                    )
+            buckets = summary.get("buckets")
+            if buckets is not None:
+                if (
+                    not isinstance(buckets, list)
+                    or len(buckets) != HISTOGRAM_BUCKET_COUNT
+                ):
+                    return (
+                        f"histogram {name!r} buckets must be a list of "
+                        f"{HISTOGRAM_BUCKET_COUNT} counts"
+                    )
+                for bucket_count in buckets:
+                    if (
+                        not isinstance(bucket_count, int)
+                        or isinstance(bucket_count, bool)
+                        or bucket_count < 0
+                    ):
+                        return (
+                            f"histogram {name!r} bucket count "
+                            f"{bucket_count!r} is invalid"
+                        )
+            conflict = conflicted(name, "histogram")
+            if conflict is not None:
+                return conflict
+        return None
+
+    def merge_snapshot(self, snapshot: dict) -> bool:
+        """Fold a :meth:`snapshot` dict into this registry, atomically.
+
+        The whole snapshot is validated *before* anything is applied: a
+        malformed or torn one (non-numeric counter, string histogram sum,
+        wrong bucket layout, a name that clashes with a differently-typed
+        metric here) is rejected in full — never half-merged — counted in
+        ``observability.rejected_snapshots``, and reported by returning
+        ``False``.  This mirrors the coordinator's payload quarantine: by
+        the time worker metrics are folded the sketch payload was already
+        accepted, so a mid-fold ``TypeError`` would corrupt the parent's
+        telemetry with no way back.
+
+        v1 summaries (no ``"buckets"`` key) still merge — count, sum and
+        extrema combine; only quantiles are unavailable for their mass.
+        """
+        fault = self._snapshot_fault(snapshot)
+        if fault is not None:
+            self.counter("observability.rejected_snapshots").add(1)
+            return False
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).add(value)
         for name, value in snapshot.get("gauges", {}).items():
@@ -203,6 +362,10 @@ class MetricsRegistry:
                 continue
             histogram.count += count
             histogram.total += float(summary.get("sum", 0.0))
+            for bucket_index, bucket_count in enumerate(
+                summary.get("buckets") or ()
+            ):
+                histogram.buckets[bucket_index] += bucket_count
             for extremum, pick in (("min", min), ("max", max)):
                 incoming = summary.get(extremum)
                 if incoming is None:
@@ -214,6 +377,7 @@ class MetricsRegistry:
                     "minimum" if extremum == "min" else "maximum",
                     merged,
                 )
+        return True
 
     # ------------------------------------------------------------------ #
     # Export

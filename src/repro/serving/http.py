@@ -1,0 +1,221 @@
+"""Stdlib HTTP front-end over :class:`~repro.serving.service.ImplicationService`.
+
+``ThreadingHTTPServer`` gives one thread per connection; every handler
+reads only *published* :class:`~repro.serving.service.ServedSnapshot`
+objects (immutable after the store swap), so any number of concurrent
+requests proceed without ever taking a lock the ingest loop holds — reads
+never block ingest and vice versa.
+
+Endpoints (all GET, JSON unless noted):
+
+========================  =====================================================
+``/health``               liveness + status/cursor/generation/profile names
+``/metrics``              full :class:`MetricsRegistry` snapshot
+``/profiles``             every published snapshot's summary (``describe()``)
+``/query``                implication-count readouts — by ``profile=NAME`` or
+                          by raw conditions (``min_support``,
+                          ``max_multiplicity``, ``top_c``, ``theta``), plus
+                          optional ``stat=`` selector
+``/top``                  per-itemset lookup: ``profile=NAME&itemset=INT`` →
+                          routing, zone, support, status, top confidence
+``/snapshot``             raw estimator wire payload
+                          (``application/octet-stream``) with
+                          ``X-Repro-Digest``/``-Cursor``/``-Generation``
+                          headers — a client can ``from_bytes`` it and verify
+                          the digest independently
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..core.conditions import ImplicationConditions
+from ..observability import metrics as obs
+from .service import ImplicationService, itemset_summary
+
+__all__ = ["ServingHTTPServer", "build_server"]
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ImplicationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: ImplicationService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def build_server(
+    service: ImplicationService, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """Bind (port 0 = ephemeral; read ``server_address`` for the real one)."""
+    return ServingHTTPServer((host, port), service)
+
+
+def _parse_conditions(params: dict[str, list[str]]) -> ImplicationConditions | None:
+    """Conditions from raw query params, or ``None`` if none were given."""
+    keys = ("min_support", "max_multiplicity", "top_c", "theta")
+    if not any(key in params for key in keys):
+        return None
+    kwargs = {}
+    if "min_support" in params:
+        kwargs["min_support"] = int(params["min_support"][0])
+    if "max_multiplicity" in params:
+        kwargs["max_multiplicity"] = int(params["max_multiplicity"][0])
+    if "top_c" in params:
+        kwargs["top_c"] = int(params["top_c"][0])
+    if "theta" in params:
+        kwargs["min_top_confidence"] = float(params["theta"][0])
+    return ImplicationConditions(**kwargs)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServingHTTPServer
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request stderr chatter; /metrics carries the counts."""
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        registry = obs.get_registry()
+        registry.counter("serving.http.requests").add(1)
+        parsed = urlparse(self.path)
+        params = parse_qs(parsed.query)
+        try:
+            route = getattr(self, "_route" + parsed.path.replace("/", "_"), None)
+            if route is None:
+                self._send_error(404, f"unknown path {parsed.path!r}")
+                registry.counter("serving.http.not_found").add(1)
+                return
+            route(params)
+        except (ValueError, KeyError, IndexError) as error:
+            registry.counter("serving.http.bad_requests").add(1)
+            self._send_error(400, str(error))
+        except BrokenPipeError:  # client went away mid-response
+            pass
+
+    def _route_health(self, params) -> None:
+        service = self.server.service
+        self._send_json(
+            {
+                "status": service.store.status,
+                "cursor": service.cursor,
+                "generation": service.generation,
+                "resumed_generation": service.restored_generation,
+                "profiles": list(service.profiles),
+            }
+        )
+
+    def _route_metrics(self, params) -> None:
+        # snapshot() iterates the registry's dicts; a concurrently created
+        # metric can (rarely) resize them mid-iteration.  Retry rather than
+        # surface a 500 — the snapshot is advisory, a beat-late view is fine.
+        for _ in range(8):
+            try:
+                snapshot = obs.get_registry().snapshot()
+                break
+            except RuntimeError:
+                continue
+        else:  # pragma: no cover - needs pathological metric churn
+            snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+        self._send_json(snapshot)
+
+    def _route_profiles(self, params) -> None:
+        snapshots = self.server.service.store.all()
+        self._send_json(
+            {name: snapshot.describe() for name, snapshot in snapshots.items()}
+        )
+
+    def _pick_snapshot(self, params):
+        store = self.server.service.store
+        if "profile" in params:
+            name = params["profile"][0]
+            snapshot = store.get(name)
+            if snapshot is None:
+                raise LookupError(f"unknown profile {name!r}")
+            return snapshot
+        conditions = _parse_conditions(params)
+        if conditions is None:
+            raise ValueError(
+                "pass profile=NAME or conditions "
+                "(min_support/max_multiplicity/top_c/theta)"
+            )
+        snapshot = store.find_by_conditions(conditions)
+        if snapshot is None:
+            raise LookupError(f"no served profile matches {conditions.describe()}")
+        return snapshot
+
+    def _route_query(self, params) -> None:
+        try:
+            snapshot = self._pick_snapshot(params)
+        except LookupError as error:
+            self._send_error(404, str(error))
+            return
+        stat = params.get("stat", [None])[0]
+        if stat is not None and stat not in snapshot.stats:
+            raise ValueError(
+                f"unknown stat {stat!r}; known: {', '.join(snapshot.stats)}"
+            )
+        body = snapshot.describe()
+        if stat is not None:
+            body["stat"] = stat
+            body["value"] = snapshot.stats[stat]
+        self._send_json(body)
+
+    def _route_top(self, params) -> None:
+        try:
+            snapshot = self._pick_snapshot(params)
+        except LookupError as error:
+            self._send_error(404, str(error))
+            return
+        if "itemset" not in params:
+            raise ValueError("pass itemset=INT")
+        itemset = int(params["itemset"][0])
+        self._send_json(
+            {
+                "profile": snapshot.name,
+                "cursor": snapshot.cursor,
+                "digest": snapshot.digest,
+                "lookup": itemset_summary(snapshot.estimator, itemset),
+            }
+        )
+
+    def _route_snapshot(self, params) -> None:
+        try:
+            snapshot = self._pick_snapshot(params)
+        except LookupError as error:
+            self._send_error(404, str(error))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(snapshot.payload)))
+        self.send_header("X-Repro-Profile", snapshot.name)
+        self.send_header("X-Repro-Digest", snapshot.digest)
+        self.send_header("X-Repro-Cursor", str(snapshot.cursor))
+        self.send_header("X-Repro-Generation", str(snapshot.generation))
+        self.end_headers()
+        self.wfile.write(snapshot.payload)

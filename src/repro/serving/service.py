@@ -1,0 +1,574 @@
+"""The serving core: multi-profile ingest loop + snapshot isolation.
+
+One :class:`ImplicationService` owns:
+
+* a :class:`~repro.serving.sources.StreamSource` supplying deterministic,
+  absolutely-bounded batches;
+* one live accumulator estimator **per named condition profile** — the
+  conditions ``(K, tau, c, theta)`` are baked into estimator state at
+  ingest time, so "queries at arbitrary condition profiles" means one
+  estimator per *registered* profile, all fed the same batches (the
+  default registry is :data:`repro.verify.harness.CONDITION_PROFILES`);
+* one :class:`~repro.engine.sharded.ShardedIngestor` per profile, all
+  sharing the process-global persistent worker pool;
+* a :class:`SnapshotStore` of **published** read-only snapshots.
+
+Snapshot isolation is copy-on-publish: after every ``publish_every``
+batches the accumulators are serialized through the wire format, their
+state digests computed, and fresh decoded copies swapped into the store
+under a lock.  HTTP readers only ever touch store snapshots — immutable
+after publication — so reads never block ingest and can never observe a
+torn state.  The serialized payload doubles as the checkpoint payload
+(:mod:`repro.recovery.checkpoint`): the primary profile is the
+generation's payload, secondary profiles ride as checksummed
+attachments, and the manifest's ``extra`` records the ingest shape
+(source identity, batch size, worker count, profile list) which resume
+validates — exactly the discipline ``ingest_checkpointed`` uses.
+
+Because batch boundaries are absolute and each batch is one sharded
+ingest round merged in shard-index order, the published state at cursor
+``c`` is bit-for-bit (``estimator_state_digest``) equal to
+:func:`offline_reference` over the stream prefix ``[:c]`` — and a
+SIGTERM'd service resumed from its last checkpoint lands on the digest
+of an uninterrupted run.  The ``serve-snapshot-equivalence`` contract in
+:mod:`repro.verify.contracts` checks the former on every harness
+iteration; :mod:`tests.test_serving` and the CI serving smoke check the
+latter end-to-end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..core.conditions import ImplicationConditions
+from ..core.estimator import ImplicationCountEstimator
+from ..core.serialize import estimator_state_digest
+from ..engine.sharded import ShardedIngestor
+from ..observability import metrics as obs
+from ..sketch.bitops import least_significant_bit
+from .sources import StreamSource, make_source
+
+__all__ = [
+    "ServeConfig",
+    "ServedSnapshot",
+    "SnapshotStore",
+    "ImplicationService",
+    "default_profiles",
+    "itemset_summary",
+    "offline_reference",
+]
+
+#: Attachment-name prefix for secondary profile payloads in checkpoints.
+_PROFILE_ATTACHMENT = "profile:"
+
+
+def default_profiles() -> dict[str, ImplicationConditions]:
+    """The named condition profiles served when none are configured.
+
+    The verify harness's :data:`~repro.verify.harness.CONDITION_PROFILES`
+    — five ``(K, tau, c, theta)`` settings spanning support-only through
+    top-2 confidence — so the service answers mixed-condition traffic out
+    of the box and every profile the differential harness exercises is
+    also servable.
+    """
+    from ..verify.harness import CONDITION_PROFILES
+
+    return dict(CONDITION_PROFILES)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes a service run (and its resume identity).
+
+    ``source``/``seed``/``tuples``/``batch_size``/``workers``/
+    ``num_bitmaps``/``profiles`` define the merge structure and are
+    recorded in every checkpoint and enforced on resume; ``publish_every``
+    is cadence only and may differ across restarts, like
+    ``ingest_checkpointed``'s ``every``.
+    """
+
+    source: str = "profile:uniform"
+    seed: int = 0
+    tuples: int | None = None
+    batch_size: int = 4096
+    publish_every: int = 1
+    workers: int = 1
+    num_bitmaps: int = 16
+    profiles: tuple[str, ...] = ()
+    keep: int = 3
+    kernels: str | None = None
+    job_timeout: float | None = None
+    #: Pace :meth:`ImplicationService.run` to at most this many tuples per
+    #: second — models a stream's real arrival rate instead of replaying a
+    #: recorded stream at ingest speed.  ``None`` runs flat out.  Pacing
+    #: is wall-clock only: it never changes batch contents or the merge
+    #: structure, so it is excluded from the resume-enforced shape (like
+    #: ``publish_every``).
+    pace_tps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.publish_every < 1:
+            raise ValueError(
+                f"publish_every must be >= 1, got {self.publish_every}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.pace_tps is not None and self.pace_tps <= 0:
+            raise ValueError(f"pace_tps must be positive, got {self.pace_tps}")
+
+
+@dataclass(frozen=True)
+class ServedSnapshot:
+    """One profile's published, immutable read view.
+
+    ``estimator`` is a fresh decode of ``payload`` — it shares no state
+    with the live accumulator, so any number of reader threads may query
+    it while ingest continues.  ``stats`` are the readouts precomputed at
+    publish time (queries answer from here, keeping the hot path a dict
+    lookup); ``digest`` is the ``estimator_state_digest`` the equivalence
+    contract compares against an offline single pass.
+    """
+
+    name: str
+    conditions: ImplicationConditions
+    estimator: ImplicationCountEstimator
+    payload: bytes
+    digest: str
+    cursor: int
+    generation: int | None
+    stats: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        return {
+            "profile": self.name,
+            "conditions": self.conditions.describe(),
+            "cursor": self.cursor,
+            "generation": self.generation,
+            "digest": self.digest,
+            "stats": dict(self.stats),
+        }
+
+
+def itemset_summary(
+    estimator: ImplicationCountEstimator, itemset: int
+) -> dict:
+    """Point lookup: where ``itemset`` routes and what is known about it.
+
+    Replays the scalar routing math (bitmap index from the low route
+    bits, cell position from the least-significant set bit of the rest)
+    and reads the fringe cell — strictly read-only, so it is safe against
+    published snapshots shared across reader threads.  An untracked
+    itemset is not necessarily unseen: its cell may have been absorbed
+    into Zone 1 or floated away, which the ``zone`` field disambiguates.
+    """
+    encoded = int(itemset)
+    hashed = estimator.hash_function(encoded)
+    index = int(hashed & (estimator.num_bitmaps - 1))
+    position = min(
+        least_significant_bit(hashed >> estimator.route_bits),
+        estimator.length - 1,
+    )
+    bitmap = estimator.bitmaps[index]
+    summary = {
+        "itemset": encoded,
+        "bitmap": index,
+        "position": position,
+        "zone": bitmap.zone_of(position),
+        "tracked": False,
+    }
+    state = bitmap.state_of(position, encoded)
+    if state is not None:
+        conditions = estimator.conditions
+        summary.update(
+            {
+                "tracked": True,
+                "support": state.support,
+                "status": state.status(conditions).value,
+                "top_confidence": state.top_confidence(conditions),
+                "violated": state.violated,
+                "multiplicity_exceeded": state.multiplicity_exceeded,
+            }
+        )
+    return summary
+
+
+class SnapshotStore:
+    """Atomically swapped map of published snapshots (reader-facing).
+
+    ``publish`` replaces the whole map under a lock; readers take either
+    one snapshot or a consistent copy of the map.  Snapshots themselves
+    are immutable, so once a reader holds one, nothing the ingest loop
+    does can tear it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots: dict[str, ServedSnapshot] = {}
+        self._status = "starting"
+
+    def publish(self, snapshots: Mapping[str, ServedSnapshot]) -> None:
+        fresh = dict(snapshots)
+        with self._lock:
+            self._snapshots = fresh
+
+    def get(self, name: str) -> ServedSnapshot | None:
+        with self._lock:
+            return self._snapshots.get(name)
+
+    def all(self) -> dict[str, ServedSnapshot]:
+        with self._lock:
+            return dict(self._snapshots)
+
+    def find_by_conditions(
+        self, conditions: ImplicationConditions
+    ) -> ServedSnapshot | None:
+        with self._lock:
+            for snapshot in self._snapshots.values():
+                if snapshot.conditions == conditions:
+                    return snapshot
+        return None
+
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    def set_status(self, status: str) -> None:
+        with self._lock:
+            self._status = status
+
+
+class ImplicationService:
+    """The resident ingest + query core (transport-agnostic).
+
+    The HTTP layer (:mod:`repro.serving.http`) and the CLI wrap this; the
+    equivalence contract and the concurrency tests drive it directly via
+    :meth:`ingest_step`, which is deliberately synchronous — one batch
+    through every profile's ingestor, one optional commit — so single
+    steps can be interleaved with assertions.
+
+    Parameters
+    ----------
+    config:
+        The run shape (see :class:`ServeConfig`).
+    source:
+        Override the source built from ``config.source`` (tests, the
+        contract).  Must honour the deterministic-batch property.
+    profiles:
+        Override the named condition profiles (default: the
+        ``config.profiles`` selection of :func:`default_profiles`).
+        Insertion order matters: the first profile is the checkpoint
+        primary.
+    checkpoint_dir:
+        Enable durability: every publish commits a checkpoint generation
+        here, and construction restores the newest valid one (validating
+        that its recorded shape matches ``config``).
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        *,
+        source: StreamSource | None = None,
+        profiles: Mapping[str, ImplicationConditions] | None = None,
+        checkpoint_dir: str | None = None,
+    ) -> None:
+        self.config = config
+        if profiles is not None:
+            self.profiles = dict(profiles)
+        else:
+            registry = default_profiles()
+            if config.profiles:
+                missing = [
+                    name for name in config.profiles if name not in registry
+                ]
+                if missing:
+                    raise ValueError(
+                        f"unknown condition profiles {missing}; known: "
+                        f"{', '.join(registry)}"
+                    )
+                self.profiles = {
+                    name: registry[name] for name in config.profiles
+                }
+            else:
+                self.profiles = registry
+        if not self.profiles:
+            raise ValueError("at least one condition profile is required")
+        self.source = source or make_source(
+            config.source,
+            seed=config.seed,
+            batch_size=config.batch_size,
+            tuples=config.tuples,
+        )
+        self.templates = {
+            name: ImplicationCountEstimator(
+                conditions,
+                num_bitmaps=config.num_bitmaps,
+                seed=config.seed,
+                kernels=config.kernels,
+            )
+            for name, conditions in self.profiles.items()
+        }
+        self.ingestors = {
+            name: ShardedIngestor(
+                template,
+                workers=config.workers,
+                job_timeout=config.job_timeout,
+                kernels=config.kernels,
+            )
+            for name, template in self.templates.items()
+        }
+        self.accumulators = {
+            name: template.spawn_sibling()
+            for name, template in self.templates.items()
+        }
+        self.store = SnapshotStore()
+        self.cursor = 0
+        self.batch_index = 0
+        self.restored_generation: int | None = None
+        self._generation: int | None = None
+        self._since_publish = 0
+        if checkpoint_dir is not None:
+            from ..recovery.checkpoint import CheckpointManager
+
+            self.manager = CheckpointManager(checkpoint_dir, keep=config.keep)
+            self._restore()
+        else:
+            self.manager = None
+        # Always publish the starting state (fresh zeros or the restored
+        # checkpoint) so readers get answers before the first batch lands.
+        self._publish()
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def primary(self) -> str:
+        return next(iter(self.profiles))
+
+    @property
+    def generation(self) -> int | None:
+        """The newest committed checkpoint generation (``None`` if volatile)."""
+        return self._generation
+
+    def _shape(self) -> dict:
+        """The resume-enforced ingest identity (cadence excluded)."""
+        return {
+            "kind": "serving",
+            "source": self.source.describe(),
+            "batch_size": self.config.batch_size,
+            "workers": self.config.workers,
+            "num_bitmaps": self.config.num_bitmaps,
+            "seed": self.config.seed,
+            "profiles": list(self.profiles),
+        }
+
+    def _restore(self) -> None:
+        restored = self.manager.load_latest(template=self.templates[self.primary])
+        if restored is None:
+            return
+        shape = self._shape()
+        recorded = {key: restored.manifest["extra"].get(key) for key in shape}
+        if recorded != shape:
+            raise ValueError(
+                f"checkpoint generation {restored.generation} was written by "
+                f"a service shaped {recorded}, cannot resume with {shape} — "
+                f"the merge structure (and therefore the served digests) "
+                f"would diverge from the uninterrupted run"
+            )
+        self.accumulators[self.primary] = restored.estimator
+        for name in list(self.profiles)[1:]:
+            blob = restored.attachments.get(_PROFILE_ATTACHMENT + name)
+            if blob is None:  # pragma: no cover - shape guard catches first
+                raise ValueError(
+                    f"checkpoint generation {restored.generation} has no "
+                    f"payload for profile {name!r}"
+                )
+            self.accumulators[name] = ImplicationCountEstimator.from_bytes(blob)
+        self.cursor = restored.cursor
+        self.batch_index = int(
+            restored.manifest["epoch"].get(
+                "batch_index", restored.cursor // self.config.batch_size
+            )
+        )
+        self.restored_generation = restored.generation
+        self._generation = restored.generation
+        registry = obs.get_registry()
+        registry.counter("serving.restores").add(1)
+        # Carry the previous run's telemetry across the restart (validated
+        # + atomic, so a damaged manifest metrics block is quarantined).
+        registry.merge_snapshot(restored.manifest.get("metrics", {}))
+
+    # ------------------------------------------------------------------ #
+    # Ingest loop
+    # ------------------------------------------------------------------ #
+
+    def ingest_step(self) -> bool:
+        """Ingest exactly one batch through every profile.
+
+        Returns ``False`` when the source is drained (after committing
+        any unpublished progress), ``True`` otherwise.  A commit happens
+        every ``publish_every`` batches and always at end-of-stream, so
+        the final published snapshot covers the whole stream.
+        """
+        batch = self.source.batch(self.batch_index)
+        if batch is None:
+            if self._since_publish:
+                self.commit()
+            self.store.set_status("drained")
+            return False
+        lhs, rhs = batch
+        registry = obs.get_registry()
+        started = time.perf_counter()
+        for name, ingestor in self.ingestors.items():
+            accumulator = self.accumulators[name]
+            for _, payload in ingestor.ingest_payloads(lhs, rhs):
+                accumulator.merge(ImplicationCountEstimator.from_bytes(payload))
+        self.batch_index += 1
+        self.cursor += len(lhs)
+        self._since_publish += 1
+        registry.counter("serving.batches").add(1)
+        registry.counter("serving.tuples").add(len(lhs))
+        registry.histogram("serving.batch_seconds").observe(
+            time.perf_counter() - started
+        )
+        if self._since_publish >= self.config.publish_every:
+            self.commit()
+        return True
+
+    def commit(self) -> None:
+        """Serialize every accumulator, checkpoint (if durable), publish."""
+        registry = obs.get_registry()
+        started = time.perf_counter()
+        payloads = {
+            name: accumulator.to_bytes()
+            for name, accumulator in self.accumulators.items()
+        }
+        digests = {
+            name: estimator_state_digest(accumulator)
+            for name, accumulator in self.accumulators.items()
+        }
+        if self.manager is not None:
+            attachments = {
+                _PROFILE_ATTACHMENT + name: payloads[name]
+                for name in list(self.profiles)[1:]
+            }
+            manifest = self.manager.save(
+                self.accumulators[self.primary],
+                cursor=self.cursor,
+                epoch={"batch_index": self.batch_index},
+                extra=self._shape(),
+                attachments=attachments,
+            )
+            self._generation = manifest["generation"]
+        self._publish(payloads=payloads, digests=digests)
+        self._since_publish = 0
+        registry.counter("serving.publishes").add(1)
+        registry.gauge("serving.cursor").set(float(self.cursor))
+        registry.histogram("serving.publish_seconds").observe(
+            time.perf_counter() - started
+        )
+
+    def _publish(
+        self,
+        payloads: dict[str, bytes] | None = None,
+        digests: dict[str, str] | None = None,
+    ) -> None:
+        if payloads is None:
+            payloads = {
+                name: accumulator.to_bytes()
+                for name, accumulator in self.accumulators.items()
+            }
+        if digests is None:
+            digests = {
+                name: estimator_state_digest(accumulator)
+                for name, accumulator in self.accumulators.items()
+            }
+        snapshots = {}
+        for name, conditions in self.profiles.items():
+            estimator = ImplicationCountEstimator.from_bytes(payloads[name])
+            stats = {
+                "implication": estimator.implication_count(),
+                "nonimplication": estimator.nonimplication_count(),
+                "supported": estimator.supported_distinct_count(),
+                "tuples": estimator.tuples_seen,
+            }
+            snapshots[name] = ServedSnapshot(
+                name=name,
+                conditions=conditions,
+                estimator=estimator,
+                payload=payloads[name],
+                digest=digests[name],
+                cursor=self.cursor,
+                generation=self._generation,
+                stats=stats,
+            )
+        self.store.publish(snapshots)
+
+    def run(self, stop_event: threading.Event | None = None) -> None:
+        """Ingest until the source drains or ``stop_event`` is set.
+
+        A stop request takes effect at the next batch boundary — the
+        graceful-SIGTERM semantics: in-flight shard work drains, progress
+        up to the boundary is committed (so resume replays nothing that
+        was already merged), and the store status flips to ``stopped``.
+        The caller owns pool teardown (``engine.shutdown_runtime``).
+
+        With ``config.pace_tps`` set, the loop sleeps between batches so
+        the cursor tracks the configured arrival rate (a stop request cuts
+        any sleep short).  Pacing lives here, not in :meth:`ingest_step`,
+        so contract checks and tests stepping the service directly always
+        run flat out.
+        """
+        self.store.set_status("ingesting")
+        pace = self.config.pace_tps
+        started = time.monotonic()
+        paced_start = self.cursor  # resume paces the remainder, not history
+        while stop_event is None or not stop_event.is_set():
+            if not self.ingest_step():
+                return
+            if pace is not None:
+                due = started + (self.cursor - paced_start) / pace
+                delay = due - time.monotonic()
+                if delay > 0:
+                    if stop_event is not None:
+                        stop_event.wait(delay)
+                    else:
+                        time.sleep(delay)
+        if self._since_publish:
+            self.commit()
+        self.store.set_status("stopped")
+
+
+def offline_reference(
+    template: ImplicationCountEstimator,
+    lhs: np.ndarray,
+    rhs: np.ndarray,
+    *,
+    batch_size: int,
+    workers: int = 1,
+    kernels: str | None = None,
+) -> ImplicationCountEstimator:
+    """One synchronous pass with the service's exact merge structure.
+
+    Batch boundaries at absolute multiples of ``batch_size``, one sharded
+    round per batch, payloads merged in shard-index order — identical to
+    what :meth:`ImplicationService.ingest_step` does per profile (and to
+    ``ingest_checkpointed`` with ``chunk_size=batch_size``), so the result
+    digest equals every served snapshot's digest at the same cursor.
+    """
+    merged = template.spawn_sibling()
+    ingestor = ShardedIngestor(template, workers=workers, kernels=kernels)
+    for start in range(0, len(lhs), batch_size):
+        stop = min(start + batch_size, len(lhs))
+        for _, payload in ingestor.ingest_payloads(lhs[start:stop], rhs[start:stop]):
+            merged.merge(ImplicationCountEstimator.from_bytes(payload))
+    return merged

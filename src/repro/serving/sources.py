@@ -1,0 +1,231 @@
+"""Pluggable stream sources for the serving layer.
+
+A :class:`StreamSource` is a deterministic, *randomly addressable*
+sequence of ``(lhs, rhs)`` batches: ``batch(i)`` always returns the same
+arrays for the same ``i``, and batch boundaries are absolute (every batch
+except possibly the last holds exactly ``batch_size`` tuples).  Those two
+properties are what make the serving layer's durability story exact —
+resume skips already-ingested batches in O(1) by index instead of
+replaying them, and the replayed suffix is guaranteed identical to what
+the interrupted run would have ingested, so the resumed digest is
+bit-for-bit the uninterrupted one.
+
+First-party sources:
+
+* :class:`ProfileSource` — the adversarial stream profiles of
+  :mod:`repro.verify.streams` (``uniform``, ``skewed``, ``bursty``, ...),
+  generated per batch from a seed derived as ``sha256(seed, index)`` so
+  any batch is computable without generating its predecessors.  Bounded
+  by ``tuples`` or infinite.
+* :class:`ArraySource` — wraps concrete arrays (tests, the equivalence
+  contract, and the :mod:`repro.datasets` generators via
+  ``dataset-one:`` specs).
+
+``make_source`` parses the CLI's ``--source`` spec strings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..verify.streams import generate_stream, profile_names
+
+__all__ = ["StreamSource", "ProfileSource", "ArraySource", "make_source"]
+
+
+class StreamSource:
+    """Deterministic random-access batch supplier (abstract)."""
+
+    batch_size: int
+
+    def batch(self, index: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """Batch ``index`` as ``(lhs, rhs)``, or ``None`` past the end."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """JSON-able identity of this source.
+
+        Recorded in every checkpoint manifest and enforced on resume: two
+        sources with equal descriptions must produce identical batches.
+        """
+        raise NotImplementedError
+
+
+def _batch_seed(seed: int, index: int) -> int:
+    """A per-batch RNG seed that is stable across processes and versions."""
+    digest = hashlib.sha256(f"{seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class ProfileSource(StreamSource):
+    """Batches drawn from one :mod:`repro.verify.streams` profile.
+
+    Each batch is an independent ``batch_size``-tuple stream from the
+    profile's generator, seeded by ``(seed, index)`` — the logical stream
+    is their concatenation.  ``tuples=None`` makes the source infinite
+    (a service that runs until SIGTERM); bounded sources emit a short
+    final batch when ``tuples`` is not a multiple of ``batch_size``.
+    """
+
+    def __init__(
+        self,
+        profile: str,
+        *,
+        seed: int = 0,
+        batch_size: int = 4096,
+        tuples: int | None = None,
+    ) -> None:
+        if profile not in profile_names():
+            raise ValueError(
+                f"unknown stream profile {profile!r}; "
+                f"known: {', '.join(profile_names())}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if tuples is not None and tuples < 1:
+            raise ValueError(f"tuples must be >= 1 or None, got {tuples}")
+        self.profile = profile
+        self.seed = seed
+        self.batch_size = batch_size
+        self.tuples = tuples
+
+    def batch(self, index: int) -> tuple[np.ndarray, np.ndarray] | None:
+        start = index * self.batch_size
+        if self.tuples is not None and start >= self.tuples:
+            return None
+        size = self.batch_size
+        if self.tuples is not None:
+            size = min(size, self.tuples - start)
+        return generate_stream(self.profile, _batch_seed(self.seed, index), size)
+
+    def describe(self) -> dict:
+        return {
+            "kind": "profile",
+            "profile": self.profile,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "tuples": self.tuples,
+        }
+
+
+class ArraySource(StreamSource):
+    """Concrete in-memory arrays served in absolute ``batch_size`` slices."""
+
+    def __init__(
+        self,
+        lhs: np.ndarray,
+        rhs: np.ndarray,
+        *,
+        batch_size: int = 4096,
+        description: dict | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        lhs = np.asarray(lhs, dtype=np.uint64)
+        rhs = np.asarray(rhs, dtype=np.uint64)
+        if lhs.shape != rhs.shape:
+            raise ValueError(
+                f"lhs and rhs must have equal shapes, got {lhs.shape} vs {rhs.shape}"
+            )
+        self.lhs = lhs
+        self.rhs = rhs
+        self.batch_size = batch_size
+        self._description = description
+
+    def batch(self, index: int) -> tuple[np.ndarray, np.ndarray] | None:
+        start = index * self.batch_size
+        if start >= len(self.lhs):
+            return None
+        stop = min(start + self.batch_size, len(self.lhs))
+        return self.lhs[start:stop], self.rhs[start:stop]
+
+    def describe(self) -> dict:
+        if self._description is not None:
+            return dict(self._description)
+        # Content-address anonymous arrays so a resume against different
+        # data is rejected rather than silently diverging.
+        digest = hashlib.sha256()
+        digest.update(self.lhs.tobytes())
+        digest.update(self.rhs.tobytes())
+        return {
+            "kind": "array",
+            "sha256": digest.hexdigest()[:16],
+            "batch_size": self.batch_size,
+            "tuples": int(len(self.lhs)),
+        }
+
+
+def _parse_params(raw: str, spec: str) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, sep, value = chunk.partition("=")
+        if not sep or not value.lstrip("-").isdigit():
+            raise ValueError(
+                f"malformed source parameter {chunk!r} in {spec!r} "
+                f"(expected key=integer)"
+            )
+        params[key.strip()] = int(value)
+    return params
+
+
+def make_source(
+    spec: str,
+    *,
+    seed: int = 0,
+    batch_size: int = 4096,
+    tuples: int | None = None,
+) -> StreamSource:
+    """Build a source from a CLI spec string.
+
+    * ``profile:NAME`` — a :class:`ProfileSource` over a
+      :mod:`repro.verify.streams` profile (``profile:uniform``).
+    * ``dataset-one`` or ``dataset-one:cardinality=..,implied=..,c=..`` —
+      the Section 6.1 Dataset One generator, bounded by construction
+      (``tuples`` and ``batch_size`` slice it; its own size wins when
+      ``tuples`` is None).
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "profile":
+        return ProfileSource(
+            rest, seed=seed, batch_size=batch_size, tuples=tuples
+        )
+    if kind == "dataset-one":
+        from ..datasets.synthetic import generate_dataset_one
+
+        params = _parse_params(rest, spec)
+        known = {"cardinality", "implied", "c"}
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(
+                f"unknown dataset-one parameters {sorted(unknown)} in {spec!r}"
+            )
+        cardinality = params.get("cardinality", 20000)
+        implied = params.get("implied", cardinality // 2)
+        arity = params.get("c", 1)
+        dataset = generate_dataset_one(cardinality, implied, c=arity, seed=seed)
+        lhs, rhs = dataset.lhs, dataset.rhs
+        if tuples is not None:
+            lhs, rhs = lhs[:tuples], rhs[:tuples]
+        return ArraySource(
+            lhs,
+            rhs,
+            batch_size=batch_size,
+            description={
+                "kind": "dataset-one",
+                "cardinality": cardinality,
+                "implied": implied,
+                "c": arity,
+                "seed": seed,
+                "batch_size": batch_size,
+                "tuples": int(len(lhs)),
+            },
+        )
+    raise ValueError(
+        f"unknown source spec {spec!r}; expected 'profile:NAME' or "
+        f"'dataset-one[:cardinality=..,implied=..,c=..]'"
+    )

@@ -379,6 +379,73 @@ def _check_resume_single_pass(case: StreamCase) -> str | None:
         )
 
 
+def _check_serve_snapshot_equivalence(case: StreamCase) -> str | None:
+    """Every served snapshot == an offline single pass over its prefix.
+
+    Drives the serving loop (:class:`repro.serving.service.ImplicationService`)
+    batch by batch over the case stream and, for every snapshot it
+    publishes, replays the stream prefix up to the snapshot's cursor with
+    :func:`repro.serving.service.offline_reference` — the one-shot
+    synchronous pass sharing the service's merge structure (absolute
+    batch boundaries, shard-index merge order).  Each published
+    ``estimator_state_digest`` must match its replay bit-for-bit, and
+    the snapshot's own digest must match its decoded payload (the wire
+    form a ``/snapshot`` client receives).  No theta scope: both legs run
+    the identical structure, so interleaving-sensitive sticky state
+    evolves identically — any divergence is a serving-layer defect (stale
+    accumulator published, cursor off by a batch, torn snapshot), never a
+    documented approximation.
+    """
+    from ..serving.service import ImplicationService, ServeConfig, offline_reference
+    from ..serving.sources import ArraySource
+
+    batch = max(len(case.lhs) // 3, 1)
+    config = ServeConfig(
+        batch_size=batch,
+        publish_every=1,
+        workers=2,
+        num_bitmaps=case.num_bitmaps,
+        seed=case.hash_seed,
+    )
+    service = ImplicationService(
+        config,
+        source=ArraySource(case.lhs, case.rhs, batch_size=batch),
+        profiles={"case": case.conditions},
+    )
+    published: list[tuple[int, str, bytes]] = []
+    while service.ingest_step():
+        snapshot = service.store.get("case")
+        published.append((snapshot.cursor, snapshot.digest, snapshot.payload))
+    snapshot = service.store.get("case")
+    if snapshot.cursor != len(case.lhs):
+        return (
+            f"drained service stopped at cursor {snapshot.cursor}, "
+            f"expected {len(case.lhs)}"
+        )
+    published.append((snapshot.cursor, snapshot.digest, snapshot.payload))
+    template = service.templates["case"]
+    for cursor, digest, payload in published:
+        decoded = ImplicationCountEstimator.from_bytes(payload)
+        if estimator_state_digest(decoded) != digest:
+            return (
+                f"snapshot payload at cursor {cursor} decodes to a different "
+                f"digest than the one served"
+            )
+        reference = offline_reference(
+            template,
+            case.lhs[:cursor],
+            case.rhs[:cursor],
+            batch_size=batch,
+            workers=2,
+        )
+        if estimator_state_digest(reference) != digest:
+            return (
+                f"served snapshot at cursor {cursor} diverges from the "
+                f"offline single pass over the same stream prefix"
+            )
+    return None
+
+
 def _check_serialize_roundtrip(case: StreamCase) -> str | None:
     """to_bytes -> from_bytes is the identity, and re-encoding is stable."""
     estimator = _scalar_reference(case)
@@ -728,6 +795,15 @@ CONTRACTS: tuple[Contract, ...] = (
             "run bit-for-bit (all condition profiles)"
         ),
         check=_check_resume_single_pass,
+    ),
+    Contract(
+        name="serve-snapshot-equivalence",
+        description=(
+            "every snapshot the serving loop publishes equals an offline "
+            "single pass over the same stream prefix bit-for-bit, and its "
+            "payload decodes to the served digest (all condition profiles)"
+        ),
+        check=_check_serve_snapshot_equivalence,
     ),
     Contract(
         name="exact-permutation-invariance",

@@ -86,6 +86,113 @@ class TestRegistry:
         assert registry.histogram("h").count == 1
         assert registry.histogram("h").minimum == 4.0
 
+    def test_histogram_buckets_track_observations(self, registry):
+        from repro.observability import HISTOGRAM_BUCKET_COUNT
+
+        histogram = registry.histogram("h")
+        for value in (0.001, 0.001, 8.0):
+            histogram.observe(value)
+        assert len(histogram.buckets) == HISTOGRAM_BUCKET_COUNT
+        assert sum(histogram.buckets) == 3
+        # The two equal observations share one bucket.
+        assert max(histogram.buckets) == 2
+
+    def test_histogram_quantile(self, registry):
+        histogram = registry.histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        p50 = histogram.quantile(0.5)
+        p99 = histogram.quantile(0.99)
+        # Log-spaced buckets: estimates are bucket upper bounds, so they
+        # can overshoot by at most one factor-of-two step (and are clamped
+        # into the observed range).
+        assert 50.0 <= p50 <= 100.0
+        assert p50 <= p99 <= 100.0
+        assert histogram.quantile(0.0) >= 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_histogram_quantile_edge_cases(self, registry):
+        histogram = registry.histogram("h")
+        assert histogram.quantile(0.5) is None
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        histogram.observe(3.0)
+        assert histogram.quantile(0.5) == 3.0
+
+    def test_histogram_buckets_merge_elementwise(self, registry):
+        registry.histogram("h").observe(1.0)
+        incoming = MetricsRegistry()
+        incoming.histogram("h").observe(1.0)
+        incoming.histogram("h").observe(64.0)
+        assert registry.merge_snapshot(incoming.snapshot())
+        merged = registry.histogram("h")
+        assert merged.count == 3
+        assert sum(merged.buckets) == 3
+        # Both 1.0 observations landed in the same bucket on both sides.
+        assert max(merged.buckets) == 2
+        assert merged.quantile(1.0) == 64.0
+
+    def test_merge_accepts_v1_summaries_without_buckets(self, registry):
+        registry.histogram("h").observe(2.0)
+        incoming = MetricsRegistry()
+        incoming.histogram("h").observe(8.0)
+        snapshot = incoming.snapshot()
+        del snapshot["histograms"]["h"]["buckets"]  # a v1 writer's summary
+        assert registry.merge_snapshot(snapshot)
+        assert registry.histogram("h").count == 2
+        assert registry.histogram("h").maximum == 8.0
+        # Count/sum/extrema merged; bucket mass only covers local points.
+        assert sum(registry.histogram("h").buckets) == 1
+
+    def test_merge_rejects_malformed_snapshot_atomically(self, registry):
+        registry.counter("c").add(2)
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        # Counters valid, histograms malformed: without up-front
+        # validation the counter fold would land before the fold raised.
+        malformed = {
+            "counters": {"c": 5},
+            "gauges": {},
+            "histograms": {"h": {"count": "three", "sum": 3.0}},
+        }
+        assert registry.merge_snapshot(malformed) is False
+        after = registry.snapshot()
+        rejected = after["counters"].pop("observability.rejected_snapshots")
+        assert rejected == 1
+        assert after == before
+
+    @pytest.mark.parametrize(
+        "snapshot",
+        [
+            "not a dict",
+            {"counters": ["c"]},
+            {"counters": {"c": "NaN-ish"}},
+            {"counters": {3: 1}},
+            {"gauges": {"g": None}},
+            {"histograms": {"h": 7}},
+            {"histograms": {"h": {"count": -1, "sum": 0.0}}},
+            {"histograms": {"h": {"count": True, "sum": 0.0}}},
+            {"histograms": {"h": {"count": 1, "sum": "x"}}},
+            {"histograms": {"h": {"count": 1, "sum": 1.0, "buckets": [1]}}},
+            {"histograms": {"h": {"count": 1, "sum": 1.0, "min": "low"}}},
+        ],
+    )
+    def test_merge_rejects_each_malformation(self, registry, snapshot):
+        assert registry.merge_snapshot(snapshot) is False
+        assert (
+            registry.counter("observability.rejected_snapshots").value == 1
+        )
+
+    def test_merge_rejects_cross_kind_name_conflicts(self, registry):
+        registry.counter("metric").add(1)
+        assert registry.merge_snapshot({"gauges": {"metric": 1.0}}) is False
+        assert registry.counter("metric").value == 1
+        assert (
+            registry.counter("observability.rejected_snapshots").value == 1
+        )
+
     def test_render_lists_every_metric(self, registry):
         registry.counter("ingest.tuples").add(10)
         registry.gauge("depth").set(2)

@@ -1,0 +1,486 @@
+"""Tests for the serving layer: sources, service core, HTTP, durability.
+
+The concurrency tests pin the headline guarantees: reads during active
+ingest are internally consistent (every observed digest equals an offline
+single pass over that snapshot's stream prefix — never a torn state), a
+SIGTERM'd service resumes to the bit-for-bit digest of an uninterrupted
+run, and ``/metrics`` never 500s under concurrent load.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.conditions import ImplicationConditions
+from repro.core.estimator import ImplicationCountEstimator
+from repro.core.serialize import estimator_state_digest
+from repro.engine import shutdown_runtime
+from repro.observability import MetricsRegistry, set_registry
+from repro.serving import (
+    ArraySource,
+    ImplicationService,
+    ProfileSource,
+    ServeConfig,
+    make_source,
+    offline_reference,
+)
+from repro.serving.http import build_server
+from repro.verify.streams import generate_stream
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+
+@pytest.fixture()
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+def small_conditions() -> ImplicationConditions:
+    return ImplicationConditions(min_support=2)
+
+
+def get(port: int, path: str, timeout: float = 10.0):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=timeout
+        ) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+class TestSources:
+    def test_profile_source_is_deterministic_and_random_access(self):
+        source = ProfileSource("skewed", seed=3, batch_size=100, tuples=350)
+        again = ProfileSource("skewed", seed=3, batch_size=100, tuples=350)
+        third = source.batch(3)
+        assert len(third[0]) == 50  # short final batch
+        assert source.batch(4) is None
+        # Random access: batch 2 equals batch 2 regardless of order.
+        lhs_a, rhs_a = source.batch(2)
+        lhs_b, rhs_b = again.batch(2)
+        np.testing.assert_array_equal(lhs_a, lhs_b)
+        np.testing.assert_array_equal(rhs_a, rhs_b)
+        # Distinct batches differ (per-batch derived seeds).
+        assert not np.array_equal(source.batch(0)[0], source.batch(1)[0])
+
+    def test_profile_source_infinite_without_tuples(self):
+        source = ProfileSource("uniform", batch_size=10)
+        assert source.batch(10_000) is not None
+
+    def test_array_source_slices_absolutely(self):
+        lhs, rhs = generate_stream("uniform", 1, 25)
+        source = ArraySource(lhs, rhs, batch_size=10)
+        np.testing.assert_array_equal(source.batch(1)[0], lhs[10:20])
+        assert len(source.batch(2)[0]) == 5
+        assert source.batch(3) is None
+
+    def test_array_source_description_is_content_addressed(self):
+        lhs, rhs = generate_stream("uniform", 1, 25)
+        a = ArraySource(lhs, rhs, batch_size=10).describe()
+        b = ArraySource(lhs, rhs + np.uint64(1), batch_size=10).describe()
+        assert a != b
+
+    def test_make_source_specs(self):
+        assert make_source("profile:bursty", tuples=100).describe()["kind"] == "profile"
+        dataset = make_source("dataset-one:cardinality=300,implied=100")
+        assert dataset.describe()["cardinality"] == 300
+        with pytest.raises(ValueError):
+            make_source("profile:nope")
+        with pytest.raises(ValueError):
+            make_source("csv:/tmp/x")
+        with pytest.raises(ValueError):
+            make_source("dataset-one:bogus=1")
+        with pytest.raises(ValueError):
+            make_source("dataset-one:cardinality=abc")
+
+
+class TestServiceCore:
+    def test_unknown_profile_selection_rejected(self, registry):
+        with pytest.raises(ValueError):
+            ImplicationService(ServeConfig(profiles=("no-such-profile",)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServeConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ServeConfig(publish_every=0)
+        with pytest.raises(ValueError):
+            ServeConfig(workers=0)
+
+    def test_initial_publish_before_first_batch(self, registry):
+        service = ImplicationService(
+            ServeConfig(source="profile:uniform", tuples=50, batch_size=10,
+                        num_bitmaps=8),
+            profiles={"case": small_conditions()},
+        )
+        snapshot = service.store.get("case")
+        assert snapshot is not None and snapshot.cursor == 0
+        assert snapshot.stats["tuples"] == 0
+
+    def test_every_publish_matches_offline_reference(self, registry):
+        lhs, rhs = generate_stream("skewed", 7, 900)
+        service = ImplicationService(
+            ServeConfig(batch_size=200, num_bitmaps=8, seed=2),
+            source=ArraySource(lhs, rhs, batch_size=200),
+            profiles={"case": small_conditions()},
+        )
+        while service.ingest_step():
+            snapshot = service.store.get("case")
+            reference = offline_reference(
+                service.templates["case"],
+                lhs[: snapshot.cursor],
+                rhs[: snapshot.cursor],
+                batch_size=200,
+            )
+            assert snapshot.digest == estimator_state_digest(reference)
+        assert service.store.status == "drained"
+        assert service.cursor == 900
+
+    def test_publish_every_batches_cadence(self, registry):
+        lhs, rhs = generate_stream("uniform", 3, 500)
+        service = ImplicationService(
+            ServeConfig(batch_size=100, publish_every=3, num_bitmaps=8),
+            source=ArraySource(lhs, rhs, batch_size=100),
+            profiles={"case": small_conditions()},
+        )
+        service.ingest_step()
+        service.ingest_step()
+        assert service.store.get("case").cursor == 0  # not yet published
+        service.ingest_step()
+        assert service.store.get("case").cursor == 300
+        while service.ingest_step():
+            pass
+        # Drain always commits the tail even mid-cadence.
+        assert service.store.get("case").cursor == 500
+
+    def test_run_honours_stop_event(self, registry):
+        service = ImplicationService(
+            ServeConfig(source="profile:uniform", batch_size=50, num_bitmaps=8),
+            profiles={"case": small_conditions()},
+        )
+        stop = threading.Event()
+        thread = threading.Thread(target=service.run, args=(stop,))
+        thread.start()
+        deadline = time.monotonic() + 30.0
+        while service.cursor == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stop.set()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert service.store.status == "stopped"
+        # The boundary commit covers everything ingested.
+        assert service.store.get("case").cursor == service.cursor > 0
+
+
+class TestDurability:
+    def test_stop_resume_matches_uninterrupted_digests(self, registry, tmp_path):
+        config = ServeConfig(
+            source="profile:bursty", tuples=1200, batch_size=150,
+            num_bitmaps=8, seed=4,
+        )
+        uninterrupted = ImplicationService(config)
+        while uninterrupted.ingest_step():
+            pass
+        want = {
+            name: snapshot.digest
+            for name, snapshot in uninterrupted.store.all().items()
+        }
+
+        interrupted = ImplicationService(config, checkpoint_dir=str(tmp_path))
+        for _ in range(4):
+            interrupted.ingest_step()
+        del interrupted
+
+        resumed = ImplicationService(config, checkpoint_dir=str(tmp_path))
+        assert resumed.restored_generation is not None
+        assert resumed.cursor == 600
+        while resumed.ingest_step():
+            pass
+        got = {
+            name: snapshot.digest for name, snapshot in resumed.store.all().items()
+        }
+        assert got == want
+
+    def test_resume_rejects_mismatched_shape(self, registry, tmp_path):
+        config = ServeConfig(
+            source="profile:uniform", tuples=400, batch_size=100, num_bitmaps=8
+        )
+        service = ImplicationService(config, checkpoint_dir=str(tmp_path))
+        service.ingest_step()
+        with pytest.raises(ValueError, match="shaped"):
+            ImplicationService(
+                ServeConfig(
+                    source="profile:uniform", tuples=400, batch_size=50,
+                    num_bitmaps=8,
+                ),
+                checkpoint_dir=str(tmp_path),
+            )
+
+    def test_restored_metrics_fold_into_registry(self, registry, tmp_path):
+        config = ServeConfig(
+            source="profile:uniform", tuples=300, batch_size=100, num_bitmaps=8
+        )
+        service = ImplicationService(config, checkpoint_dir=str(tmp_path))
+        while service.ingest_step():
+            pass
+        tuples_before = registry.counter("serving.tuples").value
+        assert tuples_before == 300
+        set_registry(MetricsRegistry())
+        try:
+            ImplicationService(config, checkpoint_dir=str(tmp_path))
+            from repro.observability import get_registry
+
+            assert get_registry().counter("serving.tuples").value == tuples_before
+            assert get_registry().counter("serving.restores").value == 1
+        finally:
+            set_registry(registry)
+
+
+@pytest.mark.slow
+class TestConcurrentReads:
+    def test_reads_during_ingest_are_never_torn(self, registry):
+        """Reader threads hammer the store while ingest runs; every digest
+        they observe must (a) match its own snapshot's decoded payload and
+        (b) equal the offline single pass over that cursor's prefix."""
+        lhs, rhs = generate_stream("duplicate_heavy", 9, 2000)
+        service = ImplicationService(
+            ServeConfig(batch_size=125, num_bitmaps=8, seed=6),
+            source=ArraySource(lhs, rhs, batch_size=125),
+            profiles={"case": small_conditions()},
+        )
+        observed: dict[int, str] = {}
+        torn: list[str] = []
+        done = threading.Event()
+
+        def reader() -> None:
+            while not done.is_set():
+                snapshot = service.store.get("case")
+                digest = estimator_state_digest(snapshot.estimator)
+                if digest != snapshot.digest:
+                    torn.append(
+                        f"cursor {snapshot.cursor}: served digest "
+                        f"{snapshot.digest[:12]} != decoded {digest[:12]}"
+                    )
+                observed[snapshot.cursor] = snapshot.digest
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        while service.ingest_step():
+            pass
+        done.set()
+        for thread in threads:
+            thread.join()
+        assert torn == []
+        assert len(observed) > 1  # readers saw the state advance
+        for cursor, digest in observed.items():
+            reference = offline_reference(
+                service.templates["case"], lhs[:cursor], rhs[:cursor],
+                batch_size=125,
+            )
+            assert digest == estimator_state_digest(reference), (
+                f"digest at cursor {cursor} does not match a checkpoint "
+                f"generation of the stream"
+            )
+
+    def test_metrics_endpoint_never_500s_under_load(self, registry):
+        service = ImplicationService(
+            ServeConfig(source="profile:uniform", batch_size=200, num_bitmaps=8),
+            profiles={"case": small_conditions()},
+        )
+        httpd = build_server(service)
+        port = httpd.server_address[1]
+        http_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        http_thread.start()
+        stop = threading.Event()
+        ingest = threading.Thread(target=service.run, args=(stop,), daemon=True)
+        ingest.start()
+        statuses: list[int] = []
+        errors: list[str] = []
+
+        def client() -> None:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                try:
+                    status, _, _ = get(port, "/metrics", timeout=10.0)
+                    statuses.append(status)
+                except Exception as error:  # noqa: BLE001 - recorded below
+                    errors.append(repr(error))
+
+        clients = [threading.Thread(target=client) for _ in range(8)]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        stop.set()
+        ingest.join(timeout=30.0)
+        httpd.shutdown()
+        httpd.server_close()
+        assert errors == []
+        assert statuses and set(statuses) == {200}
+
+
+class TestHTTPEndpoints:
+    @pytest.fixture()
+    def served(self, registry):
+        lhs, rhs = generate_stream("skewed", 12, 600)
+        service = ImplicationService(
+            ServeConfig(batch_size=200, num_bitmaps=8),
+            source=ArraySource(lhs, rhs, batch_size=200),
+            profiles={
+                "strict": ImplicationConditions(min_support=4),
+                "loose": ImplicationConditions(min_support=1),
+            },
+        )
+        while service.ingest_step():
+            pass
+        httpd = build_server(service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        yield service, httpd.server_address[1], lhs
+        httpd.shutdown()
+        httpd.server_close()
+
+    def test_health(self, served):
+        service, port, _ = served
+        status, body, _ = get(port, "/health")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "drained"
+        assert health["cursor"] == 600
+        assert health["profiles"] == ["strict", "loose"]
+
+    def test_profiles_lists_both(self, served):
+        _, port, _ = served
+        status, body, _ = get(port, "/profiles")
+        assert status == 200
+        assert set(json.loads(body)) == {"strict", "loose"}
+
+    def test_query_by_profile_and_stat(self, served):
+        service, port, _ = served
+        status, body, _ = get(port, "/query?profile=strict&stat=implication")
+        assert status == 200
+        payload = json.loads(body)
+        snapshot = service.store.get("strict")
+        assert payload["value"] == snapshot.stats["implication"]
+        assert payload["digest"] == snapshot.digest
+
+    def test_query_by_conditions(self, served):
+        _, port, _ = served
+        status, body, _ = get(port, "/query?min_support=4")
+        assert status == 200
+        assert json.loads(body)["profile"] == "strict"
+
+    def test_query_errors(self, served):
+        _, port, _ = served
+        assert get(port, "/query?profile=missing")[0] == 404
+        assert get(port, "/query?min_support=99")[0] == 404
+        assert get(port, "/query?profile=strict&stat=bogus")[0] == 400
+        assert get(port, "/query")[0] == 400
+        assert get(port, "/nope")[0] == 404
+
+    def test_top_lookup(self, served):
+        service, port, lhs = served
+        itemset = int(lhs[0])
+        status, body, _ = get(port, f"/top?profile=loose&itemset={itemset}")
+        assert status == 200
+        lookup = json.loads(body)["lookup"]
+        assert lookup["itemset"] == itemset
+        assert {"bitmap", "position", "zone", "tracked"} <= set(lookup)
+
+    def test_snapshot_bytes_roundtrip(self, served):
+        service, port, _ = served
+        status, body, headers = get(port, "/snapshot?profile=strict")
+        assert status == 200
+        assert headers["Content-Type"] == "application/octet-stream"
+        decoded = ImplicationCountEstimator.from_bytes(body)
+        assert estimator_state_digest(decoded) == headers["X-Repro-Digest"]
+        assert int(headers["X-Repro-Cursor"]) == 600
+
+
+@pytest.mark.slow
+class TestServeSubprocess:
+    """The CLI process end to end: SIGTERM mid-ingest, resume, digest."""
+
+    def _spawn(self, ckdir: Path, extra: list[str]):
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--source", "profile:skewed", "--tuples", "30000",
+            "--batch-size", "2048", "--num-bitmaps", "8",
+            "--checkpoint-dir", str(ckdir), "--workers", "2",
+            "--profiles", "support-only,noisy-confidence", *extra,
+        ]
+        env = {"PYTHONPATH": str(SRC_ROOT), "PATH": "/usr/bin:/bin"}
+        import os
+
+        env.update({k: v for k, v in os.environ.items() if k not in env})
+        proc = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True,
+        )
+        listening = json.loads(proc.stdout.readline())
+        assert listening["event"] == "listening", listening
+        return proc, listening
+
+    def test_sigterm_resume_reaches_uninterrupted_digest(self, tmp_path):
+        proc, listening = self._spawn(tmp_path, [])
+        port = listening["port"]
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                health = json.loads(get(port, "/health")[1])
+                if health["cursor"] >= 10000:
+                    break
+                time.sleep(0.05)
+            assert health["cursor"] >= 10000, "service never made progress"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        stopped = json.loads(out.strip().splitlines()[-1])
+        assert stopped["status"] == "stopped"
+        assert 0 < stopped["cursor"] < 30000
+        assert "resource_tracker" not in err, err
+
+        proc, listening = self._spawn(tmp_path, ["--exit-when-drained"])
+        try:
+            assert listening["resumed_generation"] is not None
+            assert listening["cursor"] == stopped["cursor"]
+            out, err = proc.communicate(timeout=240)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        final = json.loads(out.strip().splitlines()[-1])
+        assert final["cursor"] == 30000
+        assert "resource_tracker" not in err, err
+
+        # The resumed digest must equal an uninterrupted run's.
+        config = ServeConfig(
+            source="profile:skewed", tuples=30000, batch_size=2048,
+            num_bitmaps=8, workers=2, profiles=("support-only", "noisy-confidence"),
+        )
+        reference = ImplicationService(config)
+        while reference.ingest_step():
+            pass
+        want = reference.store.get("support-only").digest
+        shutdown_runtime()
+        assert final["digest"] == want

@@ -10,10 +10,12 @@ where nothing failed.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.shared_memory
 import os
 import signal
 import time
 
+import numpy as np
 import pytest
 
 from repro.core.conditions import ImplicationConditions
@@ -350,3 +352,185 @@ class TestPersistentPool:
         for _ in range(2):
             ingestor.ingest(data.lhs, data.rhs)
             assert registry.gauge("sharded.last_shard_folded").value == 2
+
+
+def _noop_module_hook(shard_index: int, attempt: int) -> None:
+    """Picklable no-op; the lambda twin below is the unpicklable case."""
+
+
+class _RaisingConn:
+    """A connection whose send always fails mid-serialization."""
+
+    def send(self, message):
+        raise RuntimeError("injected send failure (unpicklable payload)")
+
+
+class _StubProcess:
+    pid = -1
+
+
+class TestDispatchFaults:
+    """A raising ``conn.send`` must not corrupt template-cache bookkeeping."""
+
+    def _job(self, template):
+        payload = template.spawn_sibling().to_bytes()
+        return pool_module.ShardJob(
+            shard_index=0,
+            attempt=0,
+            digest=pool_module.template_digest(payload),
+            template_payload=payload,
+            offset=0,
+            length=4,
+            aggregate=True,
+            grouped=True,
+            fail_injected=False,
+            failure_hook=None,
+        )
+
+    def test_send_failure_does_not_mark_template_cached(self, registry):
+        __, template = make_stream(seed=13)
+        job = self._job(template)
+        runtime = pool_module.WorkerRuntime()
+        worker = pool_module._Worker(_StubProcess(), _RaisingConn())
+        segment = pool_module.InlineSegment(
+            np.zeros(4, dtype=np.uint64), np.zeros(4, dtype=np.uint64)
+        )
+        with pytest.raises(RuntimeError):
+            runtime._dispatch(worker, job, segment)
+        # The worker never received the template: recording its digest now
+        # would make the next job for this geometry skip the ship and sink
+        # on a missing template.
+        assert job.digest not in worker.digests
+        assert registry.counter("pool.template_ships").value == 0
+        assert registry.counter("pool.template_hits").value == 0
+
+    @pytest.mark.skipif(
+        not POOL_AVAILABLE, reason="no process pool in this environment"
+    )
+    def test_unpicklable_hook_fails_shards_not_the_pool(self, registry):
+        """An unpicklable failure_hook dies inside ``conn.send`` while the
+        message is serialized.  The shard must fail cleanly (serial
+        in-parent retry, where no pickling happens), the digest must match
+        the no-pool leg, and the pool must stay usable afterwards."""
+        _fresh_runtime()
+        data, template = make_stream(seed=29)
+        unpicklable = lambda shard_index, attempt: None  # noqa: E731
+        pooled = ShardedIngestor(
+            template, workers=2, failure_hook=unpicklable
+        ).ingest(data.lhs, data.rhs)
+        serial = ShardedIngestor(
+            template, workers=2, use_pool=False, failure_hook=_noop_module_hook
+        ).ingest(data.lhs, data.rhs)
+        assert estimator_state_digest(pooled) == estimator_state_digest(serial)
+        assert registry.counter("engine.shard_retries").value > 0
+        # Slot bookkeeping survived: the next pooled ingest is clean.
+        clean = ShardedIngestor(template, workers=2).ingest(data.lhs, data.rhs)
+        assert estimator_state_digest(clean) == estimator_state_digest(serial)
+
+
+class _LegacySharedMemory:
+    """Stand-in for the pre-3.13 SharedMemory: no ``track`` kwarg."""
+
+    # Bound at definition time: the test monkeypatches the module global,
+    # so delegating through the module would recurse into this stub.
+    _real = multiprocessing.shared_memory.SharedMemory
+
+    def __init__(self, *args, **kwargs):
+        if "track" in kwargs:
+            raise TypeError(
+                "__init__() got an unexpected keyword argument 'track'"
+            )
+        self._shm = self._real(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._shm, name)
+
+
+class TestAttachTracking:
+    """Worker-side attaches must never register segment ownership."""
+
+    def test_attach_untracked_suppresses_registration(self, tmp_path):
+        from multiprocessing import resource_tracker
+
+        owned = multiprocessing.shared_memory.SharedMemory(create=True, size=64)
+        recorded = []
+        original = resource_tracker.register
+        try:
+            resource_tracker.register = lambda name, rtype: recorded.append(
+                (name, rtype)
+            )
+            attached = workers_module._attach_untracked(owned.name)
+            attached.close()
+            assert recorded == []
+            # Sanity: the recorder does see a plain (tracked) attach.
+            plain = multiprocessing.shared_memory.SharedMemory(name=owned.name)
+            plain.close()
+            assert len(recorded) == 1
+        finally:
+            resource_tracker.register = original
+            owned.close()
+            owned.unlink()
+
+    def test_segment_cache_fallback_attach_is_untracked(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        owned = multiprocessing.shared_memory.SharedMemory(create=True, size=64)
+        recorded = []
+        monkeypatch.setattr(
+            workers_module.shared_memory, "SharedMemory", _LegacySharedMemory
+        )
+        original = resource_tracker.register
+        monkeypatch.setattr(
+            resource_tracker,
+            "register",
+            lambda name, rtype: recorded.append((name, rtype)),
+        )
+        cache = workers_module._SegmentCache()
+        lhs, rhs = cache.resolve(owned.name, rows=4, offset=0, length=4)
+        assert len(lhs) == 4 and len(rhs) == 4
+        cache.release()
+        monkeypatch.setattr(resource_tracker, "register", original)
+        assert recorded == [], (
+            "fallback attach registered segment ownership; a worker-owned "
+            "resource tracker would unlink the parent's live segment"
+        )
+        owned.close()
+        owned.unlink()
+
+    @pytest.mark.skipif(
+        not POOL_AVAILABLE, reason="no process pool in this environment"
+    )
+    def test_pooled_ingest_leaves_no_tracker_noise(self):
+        """End to end: pooled ingest + worker shutdown in a subprocess must
+        produce no resource_tracker KeyErrors or leaked-segment warnings
+        on stderr (the symptom of either tracked worker attaches or
+        parent-registration loss)."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "from repro.datasets.synthetic import generate_dataset_one\n"
+            "from repro.core.estimator import ImplicationCountEstimator\n"
+            "from repro.engine import ShardedIngestor, shutdown_runtime\n"
+            "data = generate_dataset_one(600, 300, c=1, seed=9)\n"
+            "template = ImplicationCountEstimator(data.conditions, seed=9)\n"
+            "ingestor = ShardedIngestor(template, workers=2)\n"
+            "for _ in range(3):\n"
+            "    ingestor.ingest(data.lhs, data.rhs)\n"
+            "shutdown_runtime()\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(src))
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        for needle in ("resource_tracker", "leaked shared_memory", "KeyError"):
+            assert needle not in result.stderr, result.stderr
