@@ -1,0 +1,272 @@
+"""Windowed-estimator accuracy and throughput sweep (DESIGN.md §13).
+
+Two legs:
+
+1. **Accuracy** — drive a :class:`repro.windowed.WindowedImplicationEstimator`
+   and the exact trailing-window counts side by side over verify stream
+   profiles:  :func:`repro.stream.windows.windowed_counts` feeds the
+   estimator and reads it out every rotation step, while
+   :func:`repro.stream.windows.sliding_counts` materializes the exact
+   window at the same cadence and evaluates both an
+   :class:`repro.ExactImplicationCounter` (ground truth) and a fresh
+   landmark :class:`repro.ImplicationCountEstimator` (the *sketch-noise
+   baseline*: the error the NIPS machinery makes on exactly those tuples
+   with no windowing involved) over it.  Streams are truncated to a step
+   multiple so every emission lands on the rotation grid, where the
+   estimator covers exactly the trailing ``W`` tuples — the same
+   alignment the ``windowed-vs-offline-replay`` contract pins.  Reports,
+   per (stream, conditions, window, generations) cell, the mean/max
+   relative implication error of the windowed readout and of the
+   baseline: the *excess* of the former over the latter is the error
+   attributable to generation rotation (expected ≈ 0 — the contract pins
+   the theta=0 case to bit-for-bit equality).
+2. **Throughput** — batch-ingest tuples/second for the windowed estimator
+   (with its rotation-aligned batch splitting), the decay variant, and
+   the plain landmark estimator as the overhead baseline.
+
+Writes a schema-v2 ``BENCH_windowed.json`` (host metadata: core count,
+python/numpy versions, kernel backend).
+
+Not collected by tier-1 pytest (``testpaths = tests``); run directly::
+
+    PYTHONPATH=src python benchmarks/bench_windowed.py \
+        --tuples 20000 --json BENCH_windowed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_ROOT))
+
+from repro import ExactImplicationCounter, ImplicationCountEstimator  # noqa: E402
+from repro.experiments.ablations import (  # noqa: E402
+    BENCH_SCHEMA_VERSION,
+    bench_host_metadata,
+)
+from repro.stream.windows import sliding_counts, windowed_counts  # noqa: E402
+from repro.verify.harness import CONDITION_PROFILES  # noqa: E402
+from repro.verify.streams import generate_stream  # noqa: E402
+from repro.windowed import (  # noqa: E402
+    DecayingImplicationCounter,
+    WindowedImplicationEstimator,
+)
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tuples", type=int, default=20_000)
+    parser.add_argument("--num-bitmaps", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--streams", default="uniform,skewed,bursty",
+        help="comma-separated verify stream profiles",
+    )
+    parser.add_argument(
+        "--conditions", default="support-only,multiplicity,noisy-confidence",
+        help="comma-separated condition profile names (see verify.harness)",
+    )
+    parser.add_argument(
+        "--windows", default="2048,4096",
+        help="comma-separated window sizes (tuples)",
+    )
+    parser.add_argument(
+        "--generations", default="2,4,8",
+        help="comma-separated generation counts per window",
+    )
+    parser.add_argument("--batch-size", type=int, default=2048)
+    parser.add_argument("--json", default=None, help="artifact output path")
+    parser.add_argument(
+        "--assert-excess-error", type=float, default=None,
+        help="fail if any cell's mean relative implication error exceeds "
+        "the landmark sketch-noise baseline by more than this",
+    )
+    return parser.parse_args(argv)
+
+
+def _conditions_by_name(names: list[str]):
+    table = dict(CONDITION_PROFILES)
+    missing = [name for name in names if name not in table]
+    if missing:
+        raise SystemExit(
+            f"unknown condition profiles {missing}; known: {', '.join(table)}"
+        )
+    return [(name, table[name]) for name in names]
+
+
+def accuracy_cell(
+    pairs: list[tuple[int, int]],
+    conditions,
+    window: int,
+    generations: int,
+    num_bitmaps: int,
+    seed: int,
+) -> dict:
+    """Mean/max relative error of windowed readouts vs the exact window."""
+    step = window // generations
+    usable = len(pairs) - len(pairs) % step  # keep every emission on-grid
+    pairs = pairs[:usable]
+    estimator = WindowedImplicationEstimator(
+        conditions,
+        num_bitmaps=num_bitmaps,
+        seed=seed,
+        window=window,
+        generations=generations,
+    )
+
+    def reference_stat(window_pairs):
+        counter = ExactImplicationCounter(conditions)
+        counter.update_many(window_pairs)
+        baseline = ImplicationCountEstimator(
+            conditions, num_bitmaps=num_bitmaps, seed=seed
+        )
+        for itemset, partner in window_pairs:
+            baseline.update(itemset, partner)
+        return counter.implication_count(), baseline.implication_count()
+
+    windowed_errors: list[float] = []
+    baseline_errors: list[float] = []
+    emissions = 0
+    for (position, (exact, baseline)), (est_position, estimate) in zip(
+        sliding_counts(pairs, window, step, reference_stat),
+        windowed_counts(
+            iter(pairs), estimator, step,
+            lambda windowed: windowed.implication_count(),
+        ),
+        strict=True,
+    ):
+        assert position == est_position, (position, est_position)
+        emissions += 1
+        windowed_errors.append(abs(estimate - exact) / max(exact, 1.0))
+        baseline_errors.append(abs(baseline - exact) / max(exact, 1.0))
+    mean_windowed = sum(windowed_errors) / max(len(windowed_errors), 1)
+    mean_baseline = sum(baseline_errors) / max(len(baseline_errors), 1)
+    return {
+        "window": window,
+        "generations": generations,
+        "emissions": emissions,
+        "windowed_mean_rel_error": mean_windowed,
+        "windowed_max_rel_error": max(windowed_errors, default=0.0),
+        "baseline_mean_rel_error": mean_baseline,
+        "baseline_max_rel_error": max(baseline_errors, default=0.0),
+        "excess_mean_rel_error": mean_windowed - mean_baseline,
+    }
+
+
+def throughput_leg(args) -> dict:
+    """Tuples/second for windowed, decayed and landmark batch ingest."""
+    conditions = dict(CONDITION_PROFILES)["support-only"]
+    lhs, rhs = generate_stream("skewed", args.seed, args.tuples)
+    window = int(args.windows.split(",")[0])
+    variants = {
+        "landmark": ImplicationCountEstimator(
+            conditions, num_bitmaps=args.num_bitmaps, seed=args.seed
+        ),
+        "windowed": WindowedImplicationEstimator(
+            conditions,
+            num_bitmaps=args.num_bitmaps,
+            seed=args.seed,
+            window=window,
+            generations=4,
+        ),
+        "decayed": DecayingImplicationCounter(
+            conditions,
+            half_life=window,
+            num_bitmaps=args.num_bitmaps,
+            seed=args.seed,
+        ),
+    }
+    out = {}
+    for name, sink in variants.items():
+        started = time.perf_counter()
+        for offset in range(0, len(lhs), args.batch_size):
+            sink.update_batch(
+                lhs[offset : offset + args.batch_size],
+                rhs[offset : offset + args.batch_size],
+            )
+        elapsed = time.perf_counter() - started
+        out[name] = len(lhs) / elapsed
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    streams = [name.strip() for name in args.streams.split(",") if name.strip()]
+    condition_profiles = _conditions_by_name(
+        [name.strip() for name in args.conditions.split(",") if name.strip()]
+    )
+    windows = [int(token) for token in args.windows.split(",")]
+    generation_counts = [int(token) for token in args.generations.split(",")]
+
+    accuracy = []
+    for stream_profile in streams:
+        lhs, rhs = generate_stream(stream_profile, args.seed, args.tuples)
+        pairs = list(zip(lhs.tolist(), rhs.tolist()))
+        for condition_name, conditions in condition_profiles:
+            for window in windows:
+                for generations in generation_counts:
+                    if window % generations:
+                        continue
+                    cell = accuracy_cell(
+                        pairs, conditions, window, generations,
+                        args.num_bitmaps, args.seed,
+                    )
+                    cell["stream"] = stream_profile
+                    cell["conditions"] = condition_name
+                    accuracy.append(cell)
+                    print(
+                        f"{stream_profile:>8} {condition_name:>17} "
+                        f"W={window:<6} G={generations:<2} "
+                        f"windowed err mean="
+                        f"{cell['windowed_mean_rel_error']:.3f} "
+                        f"baseline={cell['baseline_mean_rel_error']:.3f} "
+                        f"excess={cell['excess_mean_rel_error']:+.3f}"
+                    )
+
+    throughput = throughput_leg(args)
+    print(
+        "throughput (tuples/s): "
+        + "  ".join(f"{name}={rate:,.0f}" for name, rate in throughput.items())
+    )
+
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "host": bench_host_metadata(),
+        "config": {
+            "tuples": args.tuples,
+            "num_bitmaps": args.num_bitmaps,
+            "seed": args.seed,
+            "batch_size": args.batch_size,
+        },
+        "accuracy": accuracy,
+        "throughput_tuples_per_second": {
+            name: round(rate, 1) for name, rate in throughput.items()
+        },
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.assert_excess_error is not None:
+        worst = max(
+            (cell["excess_mean_rel_error"] for cell in accuracy),
+            default=0.0,
+        )
+        if worst > args.assert_excess_error:
+            print(
+                f"FAIL: worst excess mean relative error {worst:.3f} "
+                f"(windowed over sketch-noise baseline) exceeds "
+                f"{args.assert_excess_error:.3f}"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

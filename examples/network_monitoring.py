@@ -18,6 +18,13 @@ baseline — the paper's "associate triggers when such implication counts
 exceed certain thresholds" (Section 2).  The fringe is sized with the
 Lemma 2 rule so the expected violator-to-distinct ratio stays estimable.
 
+A third, *windowed* monitor (DESIGN.md §13) tracks the same fan-in
+statistic over only the trailing window of tuples: the landmark monitor's
+violation latch is absorbing, so its count stays elevated forever after
+the DDoS ends, while the windowed monitor's count falls back once the
+attack tuples rotate out of the window — the "all clear" the landmark
+semantics cannot give.
+
 Run:  python examples/network_monitoring.py
 """
 
@@ -28,6 +35,7 @@ from repro import (
     ImplicationConditions,
     ImplicationCountEstimator,
     TriggerBoard,
+    WindowedImplicationEstimator,
     required_fringe_size,
 )
 from repro.datasets.network import NetworkTrafficGenerator, ScenarioEvent
@@ -39,6 +47,8 @@ BASELINE_AT = 15_000
 FANOUT_LIMIT = 30
 #: Fire when a count exceeds its baseline by this many hosts.
 TRIGGER_JUMP = 60.0
+#: The windowed monitor only remembers this many trailing tuples.
+WINDOW = 10_000
 
 
 def build_monitor(seed: int) -> ImplicationCountEstimator:
@@ -81,6 +91,16 @@ def main() -> None:
     # Complement counts: "hosts whose fan-in/fan-out exceeded the limit".
     ddos_monitor = build_monitor(seed=1)      # destination -> sources
     scan_monitor = build_monitor(seed=2)      # source -> destinations
+    # Same fan-in statistic, but only over the trailing WINDOW tuples —
+    # violations age out with the generation that witnessed them.
+    recent_fanin = WindowedImplicationEstimator(
+        ImplicationConditions(max_multiplicity=FANOUT_LIMIT, min_support=1),
+        num_bitmaps=64,
+        fringe_size=required_fringe_size(0.02, headroom=2),
+        seed=3,
+        window=WINDOW,
+        generations=4,
+    )
 
     # Section 2's trigger association, with baselines captured from the
     # quiet period and hysteresis against sketch noise.
@@ -103,15 +123,16 @@ def main() -> None:
     )
     print(
         f"{'tuples':>8} | {'dests fan-in >30':>17} | "
-        f"{'sources fan-out >30':>19} | alarms"
+        f"{'sources fan-out >30':>19} | {'fan-in last 10k':>15} | alarms"
     )
-    print("-" * 72)
+    print("-" * 90)
 
     for position, (source, destination, __, __t) in enumerate(
         generator.tuples(STREAM_LENGTH), start=1
     ):
         ddos_monitor.update((destination,), (source,))
         scan_monitor.update((source,), (destination,))
+        recent_fanin.update((destination,), (source,))
         if position == BASELINE_AT:
             board.poll(position)  # arming poll: captures the baselines
         if position % REPORT_EVERY == 0:
@@ -121,18 +142,31 @@ def main() -> None:
             )
             fan_in = ddos_monitor.nonimplication_count()
             fan_out = scan_monitor.nonimplication_count()
-            print(f"{position:>8,} | {fan_in:>17,.1f} | {fan_out:>19,.1f} | {fired}")
+            recent = recent_fanin.nonimplication_count()
+            print(
+                f"{position:>8,} | {fan_in:>17,.1f} | {fan_out:>19,.1f} | "
+                f"{recent:>15,.1f} | {fired}"
+            )
 
     profile = ddos_monitor.memory_profile()
     alarms = [e.trigger for e in board.history() if e.kind == "raised"]
-    print("-" * 72)
+    landmark_fanin = ddos_monitor.nonimplication_count()
+    windowed_fanin = recent_fanin.nonimplication_count()
+    print("-" * 90)
     print(f"alarms fired (in order): {alarms or 'none'}")
     print(
         f"per-monitor memory: {profile.stored_itemsets} tracked itemsets, "
         f"{profile.live_counters} counters (budget {profile.itemset_budget})"
     )
+    print(
+        f"landmark fan-in count {landmark_fanin:,.1f} stays latched after "
+        f"the DDoS; windowed fan-in {windowed_fanin:,.1f} aged the attack "
+        f"out (window [{recent_fanin.window_start:,}, {recent_fanin.clock:,}))"
+    )
     if alarms != ["ddos", "scan"]:
         raise SystemExit("expected the ddos alarm then the scan alarm")
+    if not windowed_fanin < landmark_fanin / 2:
+        raise SystemExit("expected the attack to age out of the window")
 
 
 if __name__ == "__main__":

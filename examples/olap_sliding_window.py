@@ -1,5 +1,5 @@
 """Complex implications on the OLAP stream: incremental counts and sliding
-windows (Table 2's last row; Section 3.2).
+windows (Table 2's last row; Section 3.2; DESIGN.md §13).
 
 Feeds the simulated eight-dimension OLAP stream and maintains, with bounded
 memory:
@@ -7,8 +7,12 @@ memory:
 1. the running compound implication count ``(A, E, G) -> B``;
 2. the *incremental* count since the last report — "how many new implying
    itemsets appeared in the last window of tuples?" (Figure 1);
-3. the count over a sliding window of recent tuples (Figure 2), which
-   retires itemsets that stopped appearing.
+3. the count over a sliding window of recent tuples via generation
+   rotation (``repro.windowed``): G bitmap generations on an absolute
+   tuple grid, merged on read, so itemsets — and any latched condition
+   violations — age out with the panes that witnessed them;
+4. the exponentially-decayed count, the rotation-free soft-recency
+   alternative (old evidence fades instead of expiring on a boundary).
 
 Run:  python examples/olap_sliding_window.py
 """
@@ -16,9 +20,10 @@ Run:  python examples/olap_sliding_window.py
 from __future__ import annotations
 
 from repro import (
+    DecayingImplicationCounter,
     ImplicationCountEstimator,
     IncrementalImplicationCounter,
-    SlidingWindowImplicationCounter,
+    WindowedImplicationEstimator,
 )
 from repro.datasets.olap import (
     OlapStreamGenerator,
@@ -29,6 +34,7 @@ from repro.datasets.olap import (
 TOTAL_TUPLES = 200_000
 REPORT_EVERY = 40_000
 WINDOW = 80_000
+GENERATIONS = 4
 
 
 def main() -> None:
@@ -37,10 +43,18 @@ def main() -> None:
     running = IncrementalImplicationCounter(
         ImplicationCountEstimator(conditions, num_bitmaps=64, seed=1)
     )
-    windowed = SlidingWindowImplicationCounter(
-        ImplicationCountEstimator(conditions, num_bitmaps=64, seed=2),
+    windowed = WindowedImplicationEstimator(
+        conditions,
+        num_bitmaps=64,
+        seed=2,
         window=WINDOW,
-        panes=4,
+        generations=GENERATIONS,
+    )
+    decayed = DecayingImplicationCounter(
+        conditions,
+        half_life=WINDOW // 2,
+        num_bitmaps=64,
+        seed=3,
     )
 
     generator = OlapStreamGenerator(TOTAL_TUPLES, seed=5)
@@ -50,9 +64,9 @@ def main() -> None:
     )
     print(
         f"{'tuples':>9} | {'running count':>13} | {'new since last':>14} | "
-        f"{'last {0:,} tuples'.format(WINDOW):>18}"
+        f"{'last {0:,} tuples'.format(WINDOW):>18} | {'decayed':>9}"
     )
-    print("-" * 66)
+    print("-" * 78)
 
     running.checkpoint("last-report")
     consumed = 0
@@ -60,24 +74,34 @@ def main() -> None:
         lhs, rhs = workload_columns(chunk, "A")
         running.update_batch(lhs, rhs)
         windowed.update_batch(lhs, rhs)
+        decayed.update_batch(lhs, rhs)
         consumed += len(lhs)
         if consumed % REPORT_EVERY == 0:
             total = running.estimator.implication_count()
             fresh = running.increment_since("last-report")
             running.checkpoint("last-report")
             in_window = windowed.implication_count()
+            soft = decayed.implication_count()
             print(
                 f"{consumed:>9,} | {total:>13,.0f} | {fresh:>14,.0f} | "
-                f"{in_window:>18,.0f}"
+                f"{in_window:>18,.0f} | {soft:>9,.0f}"
             )
 
-    print("-" * 66)
+    print("-" * 78)
     print(
         "window machinery:",
-        windowed.live_panes,
-        "live pane estimators of",
-        f"{windowed.pane:,}",
-        "tuples each",
+        len(windowed.live_origins()),
+        "live bitmap generations of",
+        f"{windowed.step:,}",
+        "tuples each, covering",
+        f"[{windowed.window_start:,}, {windowed.clock:,})",
+    )
+    print(
+        "decay machinery: one estimator,",
+        decayed.decays,
+        "half-life ticks of",
+        f"{decayed.half_life:,}",
+        "tuples",
     )
 
 

@@ -59,6 +59,13 @@ from .offline import RefreshReport, WarehouseMonitor
 from .distributed import AggregationTree, Coordinator, StreamNode
 from .sketch import PCSA, FMBitmap, HashFamily, HyperLogLog, KMinimumValues, LogLog
 from .stream import Relation, Schema
+from .windowed import (
+    DecayingImplicationCounter,
+    WindowedImplicationEstimator,
+    decay_fringe_counters,
+    offline_window_reference,
+    windowed_state_digest,
+)
 
 __version__ = "1.0.0"
 
@@ -116,4 +123,10 @@ __all__ = [
     # stream model
     "Schema",
     "Relation",
+    # time-windowed estimators (DESIGN.md §13)
+    "WindowedImplicationEstimator",
+    "DecayingImplicationCounter",
+    "decay_fringe_counters",
+    "offline_window_reference",
+    "windowed_state_digest",
 ]

@@ -84,7 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable durability (resume happens automatically)",
     )
     parser.add_argument("--keep", type=int, default=3)
-    parser.add_argument("--kernels", default=None, choices=("python", "c"))
+    parser.add_argument(
+        "--kernels", default=None, choices=("python", "compiled", "auto")
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="serve a sliding-window view over the trailing N tuples "
+        "(readable via /query?window=1; default: landmark only)",
+    )
+    parser.add_argument(
+        "--window-generations",
+        type=int,
+        default=4,
+        help="bitmap generations per window (must divide --window)",
+    )
     parser.add_argument("--job-timeout", type=float, default=None)
     parser.add_argument(
         "--pace-tps",
@@ -120,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
         kernels=args.kernels,
         job_timeout=args.job_timeout,
         pace_tps=args.pace_tps,
+        window=args.window,
+        window_generations=args.window_generations,
     )
     service = ImplicationService(config, checkpoint_dir=args.checkpoint_dir)
     httpd = build_server(service, host=args.host, port=args.port)
@@ -184,6 +201,11 @@ def main(argv: list[str] | None = None) -> int:
                 "cursor": service.cursor,
                 "generation": service.generation,
                 "digest": snapshot.digest if snapshot else None,
+                "window_digest": (
+                    snapshot.window["digest"]
+                    if snapshot and snapshot.window
+                    else None
+                ),
                 "requests": obs.get_registry()
                 .counter("serving.http.requests")
                 .value,

@@ -15,7 +15,9 @@ Endpoints (all GET, JSON unless noted):
 ``/query``                implication-count readouts — by ``profile=NAME`` or
                           by raw conditions (``min_support``,
                           ``max_multiplicity``, ``top_c``, ``theta``), plus
-                          optional ``stat=`` selector
+                          optional ``stat=`` selector and ``window=1`` to
+                          read the sliding-window view instead of landmark
+                          totals (400 unless the service runs ``--window``)
 ``/top``                  per-itemset lookup: ``profile=NAME&itemset=INT`` →
                           routing, zone, support, status, top confidence
 ``/snapshot``             raw estimator wire payload
@@ -169,21 +171,43 @@ class _Handler(BaseHTTPRequestHandler):
             raise LookupError(f"no served profile matches {conditions.describe()}")
         return snapshot
 
+    @staticmethod
+    def _wants_window(params) -> bool:
+        raw = params.get("window", [None])[0]
+        if raw is None:
+            return False
+        if raw.lower() in ("", "1", "true", "yes"):
+            return True
+        raise ValueError(
+            f"window={raw!r} not understood; pass window=1 to read the "
+            f"sliding-window view (the window size is fixed at serve time)"
+        )
+
     def _route_query(self, params) -> None:
         try:
             snapshot = self._pick_snapshot(params)
         except LookupError as error:
             self._send_error(404, str(error))
             return
-        stat = params.get("stat", [None])[0]
-        if stat is not None and stat not in snapshot.stats:
+        windowed = self._wants_window(params)
+        if windowed and snapshot.window is None:
             raise ValueError(
-                f"unknown stat {stat!r}; known: {', '.join(snapshot.stats)}"
+                f"profile {snapshot.name!r} serves no window — restart the "
+                f"service with --window to enable windowed readouts"
+            )
+        stats = snapshot.window["stats"] if windowed else snapshot.stats
+        stat = params.get("stat", [None])[0]
+        if stat is not None and stat not in stats:
+            raise ValueError(
+                f"unknown stat {stat!r}; known: {', '.join(stats)}"
             )
         body = snapshot.describe()
+        if windowed:
+            body["windowed"] = True
+            body["stats"] = stats
         if stat is not None:
             body["stat"] = stat
-            body["value"] = snapshot.stats[stat]
+            body["value"] = stats[stat]
         self._send_json(body)
 
     def _route_top(self, params) -> None:
@@ -195,14 +219,25 @@ class _Handler(BaseHTTPRequestHandler):
         if "itemset" not in params:
             raise ValueError("pass itemset=INT")
         itemset = int(params["itemset"][0])
-        self._send_json(
-            {
-                "profile": snapshot.name,
-                "cursor": snapshot.cursor,
-                "digest": snapshot.digest,
-                "lookup": itemset_summary(snapshot.estimator, itemset),
-            }
+        windowed = self._wants_window(params)
+        if windowed and snapshot.window_estimator is None:
+            raise ValueError(
+                f"profile {snapshot.name!r} serves no window — restart the "
+                f"service with --window to enable windowed readouts"
+            )
+        estimator = (
+            snapshot.window_estimator if windowed else snapshot.estimator
         )
+        body = {
+            "profile": snapshot.name,
+            "cursor": snapshot.cursor,
+            "digest": snapshot.digest,
+            "lookup": itemset_summary(estimator, itemset),
+        }
+        if windowed:
+            body["windowed"] = True
+            body["window_digest"] = snapshot.window["digest"]
+        self._send_json(body)
 
     def _route_snapshot(self, params) -> None:
         try:

@@ -65,6 +65,9 @@ __all__ = [
 
 #: Attachment-name prefix for secondary profile payloads in checkpoints.
 _PROFILE_ATTACHMENT = "profile:"
+#: Attachment-name prefix for windowed generation payloads in checkpoints
+#: (one attachment per live pane: ``window:PROFILE:INDEX``).
+_WINDOW_ATTACHMENT = "window:"
 
 
 def default_profiles() -> dict[str, ImplicationConditions]:
@@ -110,10 +113,25 @@ class ServeConfig:
     #: structure, so it is excluded from the resume-enforced shape (like
     #: ``publish_every``).
     pace_tps: float | None = None
+    #: Additionally maintain a sliding-window view over the last ``window``
+    #: tuples per profile (DESIGN.md §13): every snapshot then carries
+    #: windowed readouts and ``/query?window=`` answers from them.  Part of
+    #: the resume-enforced shape — the generation set is checkpointed as
+    #: attachments and restored bit-for-bit.  ``None`` serves landmark only.
+    window: int | None = None
+    window_generations: int = 4
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.window is not None:
+            if self.window < 1:
+                raise ValueError(f"window must be >= 1, got {self.window}")
+            if self.window_generations < 1 or self.window % self.window_generations:
+                raise ValueError(
+                    f"window ({self.window}) must be a positive multiple of "
+                    f"window_generations ({self.window_generations})"
+                )
         if self.publish_every < 1:
             raise ValueError(
                 f"publish_every must be >= 1, got {self.publish_every}"
@@ -144,9 +162,17 @@ class ServedSnapshot:
     cursor: int
     generation: int | None
     stats: dict = field(default_factory=dict)
+    #: Windowed readouts when the service runs with ``config.window``:
+    #: ``{"window", "generations", "start", "covered", "digest", "stats"}``
+    #: — ``digest`` is the window-relative ``windowed_state_digest`` the
+    #: resume test compares.  ``None`` on landmark-only services.
+    window: dict | None = None
+    #: The merged window readout (a fresh, never-again-mutated estimator)
+    #: backing ``/top?window=`` point lookups.  ``None`` when not windowed.
+    window_estimator: ImplicationCountEstimator | None = None
 
     def describe(self) -> dict:
-        return {
+        body = {
             "profile": self.name,
             "conditions": self.conditions.describe(),
             "cursor": self.cursor,
@@ -154,6 +180,9 @@ class ServedSnapshot:
             "digest": self.digest,
             "stats": dict(self.stats),
         }
+        if self.window is not None:
+            body["window"] = dict(self.window)
+        return body
 
 
 def itemset_summary(
@@ -329,6 +358,25 @@ class ImplicationService:
             name: template.spawn_sibling()
             for name, template in self.templates.items()
         }
+        if config.window is not None:
+            from ..windowed.estimator import WindowedImplicationEstimator
+
+            # The windowed view ingests the raw batches directly (not the
+            # sharded payload merge): rotation must split on the absolute
+            # tuple grid, which the pane-aligned update_batch guarantees.
+            self.windowed: dict[str, WindowedImplicationEstimator] = {
+                name: WindowedImplicationEstimator(
+                    conditions,
+                    num_bitmaps=config.num_bitmaps,
+                    seed=config.seed,
+                    kernels=config.kernels,
+                    window=config.window,
+                    generations=config.window_generations,
+                )
+                for name, conditions in self.profiles.items()
+            }
+        else:
+            self.windowed = {}
         self.store = SnapshotStore()
         self.cursor = 0
         self.batch_index = 0
@@ -369,6 +417,12 @@ class ImplicationService:
             "num_bitmaps": self.config.num_bitmaps,
             "seed": self.config.seed,
             "profiles": list(self.profiles),
+            "window": self.config.window,
+            "window_generations": (
+                self.config.window_generations
+                if self.config.window is not None
+                else None
+            ),
         }
 
     def _restore(self) -> None:
@@ -393,6 +447,27 @@ class ImplicationService:
                     f"payload for profile {name!r}"
                 )
             self.accumulators[name] = ImplicationCountEstimator.from_bytes(blob)
+        if self.windowed:
+            window_epoch = restored.manifest["epoch"].get("window")
+            if window_epoch is None:  # pragma: no cover - shape guard first
+                raise ValueError(
+                    f"checkpoint generation {restored.generation} carries no "
+                    f"windowed generation set"
+                )
+            for name, windowed in self.windowed.items():
+                origins = window_epoch["origins"][name]
+                payloads = []
+                for index, origin in enumerate(origins):
+                    blob = restored.attachments.get(
+                        f"{_WINDOW_ATTACHMENT}{name}:{index:03d}"
+                    )
+                    if blob is None:  # pragma: no cover - manifest checksums
+                        raise ValueError(
+                            f"checkpoint generation {restored.generation} is "
+                            f"missing windowed pane {index} for {name!r}"
+                        )
+                    payloads.append((origin, blob))
+                windowed.load_generations(window_epoch["clock"], payloads)
         self.cursor = restored.cursor
         self.batch_index = int(
             restored.manifest["epoch"].get(
@@ -432,6 +507,8 @@ class ImplicationService:
             accumulator = self.accumulators[name]
             for _, payload in ingestor.ingest_payloads(lhs, rhs):
                 accumulator.merge(ImplicationCountEstimator.from_bytes(payload))
+        for windowed in self.windowed.values():
+            windowed.update_batch(lhs, rhs)
         self.batch_index += 1
         self.cursor += len(lhs)
         self._since_publish += 1
@@ -461,10 +538,32 @@ class ImplicationService:
                 _PROFILE_ATTACHMENT + name: payloads[name]
                 for name in list(self.profiles)[1:]
             }
+            epoch: dict = {"batch_index": self.batch_index}
+            if self.windowed:
+                window_payloads = {
+                    name: windowed.generation_payloads()
+                    for name, windowed in self.windowed.items()
+                }
+                # The generation set rides as one attachment per live pane
+                # (each the stock estimator wire format); origins and the
+                # shared clock live in the epoch so restore can rebuild the
+                # deque bit-for-bit.
+                for name, panes in window_payloads.items():
+                    for index, (_, blob) in enumerate(panes):
+                        attachments[
+                            f"{_WINDOW_ATTACHMENT}{name}:{index:03d}"
+                        ] = blob
+                epoch["window"] = {
+                    "clock": next(iter(self.windowed.values())).clock,
+                    "origins": {
+                        name: [origin for origin, _ in panes]
+                        for name, panes in window_payloads.items()
+                    },
+                }
             manifest = self.manager.save(
                 self.accumulators[self.primary],
                 cursor=self.cursor,
-                epoch={"batch_index": self.batch_index},
+                epoch=epoch,
                 extra=self._shape(),
                 attachments=attachments,
             )
@@ -501,6 +600,25 @@ class ImplicationService:
                 "supported": estimator.supported_distinct_count(),
                 "tuples": estimator.tuples_seen,
             }
+            window_view = None
+            window_estimator = None
+            if name in self.windowed:
+                west = self.windowed[name]
+                window_estimator = west.merged()
+                window_view = {
+                    "window": west.window,
+                    "generations": west.generations,
+                    "clock": west.clock,
+                    "start": west.window_start,
+                    "covered": west.tuples_in_window,
+                    "digest": west.state_digest(),
+                    "stats": {
+                        "implication": window_estimator.implication_count(),
+                        "nonimplication": window_estimator.nonimplication_count(),
+                        "supported": window_estimator.supported_distinct_count(),
+                        "tuples": west.tuples_in_window,
+                    },
+                }
             snapshots[name] = ServedSnapshot(
                 name=name,
                 conditions=conditions,
@@ -510,6 +628,8 @@ class ImplicationService:
                 cursor=self.cursor,
                 generation=self._generation,
                 stats=stats,
+                window=window_view,
+                window_estimator=window_estimator,
             )
         self.store.publish(snapshots)
 

@@ -2,7 +2,7 @@
 
 from .schema import Relation, Schema
 from .sources import RateMeter, chunked, read_csv, shuffled, take, write_csv
-from .windows import sliding_counts, tumbling, window_index
+from .windows import sliding_counts, tumbling, window_index, windowed_counts
 
 __all__ = [
     "Relation",
@@ -16,4 +16,5 @@ __all__ = [
     "sliding_counts",
     "tumbling",
     "window_index",
+    "windowed_counts",
 ]

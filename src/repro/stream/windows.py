@@ -1,16 +1,19 @@
 """Window assignment helpers for stream tuples.
 
-The sliding-window estimator itself lives in
-:mod:`repro.core.incremental`; this module provides the small, composable
-pieces benches and examples use to slice streams into windows before
-feeding per-window statistics.
+The sliding-window *estimator* lives in :mod:`repro.windowed`; this
+module provides the small, composable pieces benches and examples use to
+slice streams into windows before feeding per-window statistics.
+:func:`sliding_counts` materializes exact windows (the reference side of
+an accuracy sweep); :func:`windowed_counts` drives a constrained windowed
+estimator at the same emission cadence so the two zip into
+``(estimate, exact)`` pairs per cursor position.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Hashable, Iterable, Iterator, TypeVar
 
-__all__ = ["tumbling", "sliding_counts", "window_index"]
+__all__ = ["tumbling", "sliding_counts", "window_index", "windowed_counts"]
 
 T = TypeVar("T")
 
@@ -73,3 +76,43 @@ def sliding_counts(
             yield position, statistic(list(window))
     if len(window) == size and position > emitted_at:
         yield position, statistic(list(window))
+
+
+def windowed_counts(
+    pairs: Iterable[tuple[Hashable, Hashable]],
+    estimator,
+    step: int,
+    statistic: Callable[[object], Hashable],
+    *,
+    warmup: int | None = None,
+) -> Iterator[tuple[int, Hashable]]:
+    """Drive a windowed estimator over ``pairs``, reading it out every
+    ``step`` tuples.
+
+    The estimator-side counterpart of :func:`sliding_counts`: where that
+    materializes each exact window, this feeds every ``(itemset, partner)``
+    pair into ``estimator`` — anything with ``update(itemset, partner)``,
+    i.e. a :class:`~repro.windowed.WindowedImplicationEstimator` or
+    :class:`~repro.windowed.DecayingImplicationCounter` — and yields
+    ``(end_position, statistic(estimator))`` at the same cadence,
+    including the end-of-stream tail emission.  ``warmup`` suppresses
+    readouts until that many tuples have been seen; it defaults to the
+    estimator's ``window`` attribute (0 when absent), so emission starts
+    exactly when the window first fills, matching ``sliding_counts`` with
+    ``size=warmup``.
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    if warmup is None:
+        warmup = getattr(estimator, "window", 0)
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    position = 0
+    emitted_at = 0
+    for position, (itemset, partner) in enumerate(pairs, start=1):
+        estimator.update(itemset, partner)
+        if position >= warmup and position % step == 0:
+            emitted_at = position
+            yield position, statistic(estimator)
+    if position >= warmup and position > emitted_at:
+        yield position, statistic(estimator)

@@ -446,6 +446,191 @@ def _check_serve_snapshot_equivalence(case: StreamCase) -> str | None:
     return None
 
 
+def _check_windowed_offline_replay(case: StreamCase) -> str | None:
+    """The windowed readout at cursor t is a function of only the last W
+    tuples — expired evidence leaves no trace.
+
+    Drives a :class:`~repro.windowed.WindowedImplicationEstimator` scalar
+    over the case stream and, at every rotation boundary plus the final
+    cursor, replays *only the covered suffix* through a fresh windowed
+    sibling (:func:`~repro.windowed.offline_window_reference`).  The
+    window-relative :func:`~repro.windowed.windowed_state_digest` must
+    match exactly, for **every** condition profile — any dependence on
+    pre-window history (a stale pane retained, an off-grid rotation, merge
+    leaking between panes) breaks the equality.  Under theta == 0 with an
+    unbounded fringe (the scope where :meth:`ItemsetState.merge` is exact,
+    as for ``shard-merge``) a second leg additionally pins the *merged*
+    readout bit-for-bit against a plain landmark single pass over the same
+    suffix — the literal "landmark estimator run over only the last W
+    tuples".
+    """
+    from ..windowed.estimator import (
+        WindowedImplicationEstimator,
+        offline_window_reference,
+        windowed_state_digest,
+    )
+
+    generations = 4
+    step = max(len(case.lhs) // 8, 1)
+    window = generations * step
+    windowed = WindowedImplicationEstimator(
+        case.conditions,
+        num_bitmaps=case.num_bitmaps,
+        seed=case.hash_seed,
+        window=window,
+        generations=generations,
+    )
+    pairs = case.pairs()
+    for index, (itemset, partner) in enumerate(pairs, start=1):
+        windowed.update(itemset, partner)
+        if index % step and index != len(pairs):
+            continue
+        start = windowed.window_start
+        replay = offline_window_reference(
+            windowed, case.lhs[start:index], case.rhs[start:index]
+        )
+        if windowed_state_digest(replay) != windowed_state_digest(windowed):
+            return (
+                f"windowed state at cursor {index} is not a pure function "
+                f"of the covered suffix [{start}:{index}] (window {window}, "
+                f"{generations} generations) — expired tuples left a trace "
+                f"or rotation left the pane grid"
+            )
+    if case.theta_zero:
+        unbounded = WindowedImplicationEstimator(
+            case.conditions,
+            num_bitmaps=case.num_bitmaps,
+            fringe_size=None,
+            seed=case.hash_seed,
+            window=window,
+            generations=generations,
+        )
+        for itemset, partner in pairs:
+            unbounded.update(itemset, partner)
+        landmark = case.make(fringe_size=None)
+        for itemset, partner in pairs[unbounded.window_start :]:
+            landmark.update(itemset, partner)
+        message = _compare_states(
+            "windowed merge-on-read",
+            unbounded.merged(),
+            "landmark single pass over the window suffix",
+            landmark,
+        )
+        if message is not None:
+            return message
+    return None
+
+
+def _check_generation_rotation_determinism(case: StreamCase) -> str | None:
+    """Rotation schedules that land on the same window land on the same
+    digest, for every condition profile.
+
+    Four drives of the identical stream — per-tuple scalar, one whole
+    exact batch, deliberately off-grid batch chunks, and ``update_many``
+    — must produce identical window-relative state digests: rotation
+    happens on the absolute tuple grid, never on call boundaries.  (The
+    batch legs use the exact path, ``aggregate=False, grouped=False``,
+    whose scalar equivalence ``batch-scalar-replay`` already pins; what
+    this contract adds is the rotation/retirement bookkeeping splitting
+    those calls at pane boundaries.)
+
+    A second leg pins the *merged* readout across drives — but only
+    under theta == 0 with an unbounded fringe, the scope where
+    :meth:`ItemsetState.merge` is order-compressing (as for
+    ``shard-merge``).  Outside that scope the leg would be unsound, not
+    merely flaky: the batch exact path equals the scalar path
+    *canonically* (``estimator_state_digest`` sorts away itemset
+    insertion order, which legitimately differs between the two), and
+    merging canonically-equal panes with a bounded fringe or a sticky
+    confidence threshold walks their entries in insertion order, so
+    capacity/confidence absorption can latch different cells — same
+    covered window, divergent merged bytes, by design.
+    """
+    from ..windowed.estimator import (
+        WindowedImplicationEstimator,
+        windowed_state_digest,
+    )
+
+    generations = 4
+    step = max(len(case.lhs) // 8, 1)
+    window = generations * step
+
+    def fresh() -> WindowedImplicationEstimator:
+        return WindowedImplicationEstimator(
+            case.conditions,
+            num_bitmaps=case.num_bitmaps,
+            seed=case.hash_seed,
+            window=window,
+            generations=generations,
+        )
+
+    scalar = fresh()
+    for itemset, partner in case.pairs():
+        scalar.update(itemset, partner)
+    want = windowed_state_digest(scalar)
+
+    legs: list[tuple[str, WindowedImplicationEstimator]] = []
+    whole = fresh()
+    whole.update_batch(case.lhs, case.rhs, aggregate=False, grouped=False)
+    legs.append(("one whole batch", whole))
+    chunked = fresh()
+    chunk = max(step - 1, 1)  # deliberately off the pane grid
+    for begin in range(0, len(case.lhs), chunk):
+        chunked.update_batch(
+            case.lhs[begin : begin + chunk],
+            case.rhs[begin : begin + chunk],
+            aggregate=False,
+            grouped=False,
+        )
+    legs.append((f"batches of {chunk}", chunked))
+    many = fresh()
+    many.update_many(case.pairs())
+    legs.append(("update_many", many))
+    for label, leg in legs:
+        if leg.clock != scalar.clock or leg.live_origins() != scalar.live_origins():
+            return (
+                f"rotation schedule diverged for {label}: clock "
+                f"{leg.clock} vs {scalar.clock}, origins {leg.live_origins()} "
+                f"vs {scalar.live_origins()}"
+            )
+        if windowed_state_digest(leg) != want:
+            return (
+                f"windowed digest for {label} diverged from the scalar "
+                f"drive over the same stream (window {window}, "
+                f"{generations} generations)"
+            )
+    if not case.theta_zero:
+        return None
+
+    def fresh_unbounded() -> WindowedImplicationEstimator:
+        return WindowedImplicationEstimator(
+            case.conditions,
+            num_bitmaps=case.num_bitmaps,
+            fringe_size=None,
+            seed=case.hash_seed,
+            window=window,
+            generations=generations,
+        )
+
+    scalar_exact = fresh_unbounded()
+    for itemset, partner in case.pairs():
+        scalar_exact.update(itemset, partner)
+    chunked_exact = fresh_unbounded()
+    for begin in range(0, len(case.lhs), chunk):
+        chunked_exact.update_batch(
+            case.lhs[begin : begin + chunk],
+            case.rhs[begin : begin + chunk],
+            aggregate=False,
+            grouped=False,
+        )
+    return _compare_states(
+        "scalar-drive merged readout",
+        scalar_exact.merged(),
+        "chunked-drive merged readout",
+        chunked_exact.merged(),
+    )
+
+
 def _check_serialize_roundtrip(case: StreamCase) -> str | None:
     """to_bytes -> from_bytes is the identity, and re-encoding is stable."""
     estimator = _scalar_reference(case)
@@ -804,6 +989,26 @@ CONTRACTS: tuple[Contract, ...] = (
             "payload decodes to the served digest (all condition profiles)"
         ),
         check=_check_serve_snapshot_equivalence,
+    ),
+    Contract(
+        name="windowed-vs-offline-replay",
+        description=(
+            "windowed readout at cursor t == estimator run over only the "
+            "covered window suffix: pure-function digest equality for all "
+            "condition profiles, plus bit-for-bit merged-readout equality "
+            "against a plain landmark single pass [scope of that leg: "
+            "theta=0, unbounded fringe]"
+        ),
+        check=_check_windowed_offline_replay,
+    ),
+    Contract(
+        name="generation-rotation-determinism",
+        description=(
+            "scalar / whole-batch / off-grid-chunked / update_many drives "
+            "landing rotations on the same tuple grid produce identical "
+            "windowed digests (all condition profiles)"
+        ),
+        check=_check_generation_rotation_determinism,
     ),
     Contract(
         name="exact-permutation-invariance",

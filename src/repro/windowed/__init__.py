@@ -1,0 +1,29 @@
+"""Time-windowed implication counts (DESIGN.md §13).
+
+Two recency semantics over the landmark NIPS/CI machinery:
+
+* :class:`WindowedImplicationEstimator` — hard expiry: G bitmap
+  generations rotating on an absolute tuple-count grid, merged on read;
+  a violation un-latches when its last supporting pane retires.
+* :class:`DecayingImplicationCounter` — soft recency: fringe counters
+  halve every ``half_life`` tuples on the same absolute grid.
+
+Pinned by the ``windowed-vs-offline-replay`` and
+``generation-rotation-determinism`` contracts in
+:mod:`repro.verify.contracts`.
+"""
+
+from .decay import DecayingImplicationCounter, decay_fringe_counters
+from .estimator import (
+    WindowedImplicationEstimator,
+    offline_window_reference,
+    windowed_state_digest,
+)
+
+__all__ = [
+    "WindowedImplicationEstimator",
+    "DecayingImplicationCounter",
+    "decay_fringe_counters",
+    "offline_window_reference",
+    "windowed_state_digest",
+]
