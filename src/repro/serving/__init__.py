@@ -17,12 +17,21 @@ for the curl-able quickstart.
 """
 
 from .service import ImplicationService, ServeConfig, ServedSnapshot, offline_reference
-from .sources import ArraySource, ProfileSource, StreamSource, make_source
+from .sources import (
+    ArraySource,
+    ProfileSource,
+    PushBacklogFull,
+    PushSource,
+    StreamSource,
+    make_source,
+)
 
 __all__ = [
     "ArraySource",
     "ImplicationService",
     "ProfileSource",
+    "PushBacklogFull",
+    "PushSource",
     "ServeConfig",
     "ServedSnapshot",
     "StreamSource",

@@ -53,9 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0, help="0 binds an ephemeral port"
     )
     parser.add_argument(
+        "--frontend",
+        choices=("threaded", "asyncio"),
+        default="threaded",
+        help="HTTP front-end: one thread per connection (threaded) or a "
+        "single event loop (asyncio — higher connection counts, same "
+        "endpoint table)",
+    )
+    parser.add_argument(
         "--source",
         default="profile:uniform",
-        help="'profile:NAME' or 'dataset-one[:cardinality=..,implied=..,c=..]'",
+        help="'profile:NAME', 'dataset-one[:cardinality=..,implied=..,c=..]' "
+        "or 'push[:capacity=N]' (POST /ingest write path)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -139,7 +148,12 @@ def main(argv: list[str] | None = None) -> int:
         window_generations=args.window_generations,
     )
     service = ImplicationService(config, checkpoint_dir=args.checkpoint_dir)
-    httpd = build_server(service, host=args.host, port=args.port)
+    if args.frontend == "asyncio":
+        from .aio import build_async_server
+
+        httpd = build_async_server(service, host=args.host, port=args.port)
+    else:
+        httpd = build_server(service, host=args.host, port=args.port)
 
     stop = threading.Event()
 
@@ -166,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
                 "event": "listening",
                 "host": httpd.server_address[0],
                 "port": httpd.server_address[1],
+                "frontend": args.frontend,
                 "pid": os.getpid(),
                 "profiles": list(service.profiles),
                 "resumed_generation": service.restored_generation,

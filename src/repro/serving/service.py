@@ -51,7 +51,7 @@ from ..core.serialize import estimator_state_digest
 from ..engine.sharded import ShardedIngestor
 from ..observability import metrics as obs
 from ..sketch.bitops import least_significant_bit
-from .sources import StreamSource, make_source
+from .sources import PENDING, StreamSource, make_source
 
 __all__ = [
     "ServeConfig",
@@ -163,13 +163,19 @@ class ServedSnapshot:
     generation: int | None
     stats: dict = field(default_factory=dict)
     #: Windowed readouts when the service runs with ``config.window``:
-    #: ``{"window", "generations", "start", "covered", "digest", "stats"}``
-    #: — ``digest`` is the window-relative ``windowed_state_digest`` the
-    #: resume test compares.  ``None`` on landmark-only services.
+    #: ``{"window", "generations", "start", "covered", "digest",
+    #: "merged_digest", "stats"}`` — ``digest`` is the window-relative
+    #: ``windowed_state_digest`` the resume test compares,
+    #: ``merged_digest`` the ``estimator_state_digest`` of the merged
+    #: readout (what ``/snapshot?window=1`` clients verify).  ``None`` on
+    #: landmark-only services.
     window: dict | None = None
     #: The merged window readout (a fresh, never-again-mutated estimator)
     #: backing ``/top?window=`` point lookups.  ``None`` when not windowed.
     window_estimator: ImplicationCountEstimator | None = None
+    #: The merged window readout's wire payload, served by
+    #: ``/snapshot?window=1`` — decodes to ``window["merged_digest"]``.
+    window_payload: bytes | None = None
 
     def describe(self) -> dict:
         body = {
@@ -474,6 +480,13 @@ class ImplicationService:
                 "batch_index", restored.cursor // self.config.batch_size
             )
         )
+        resume_at = getattr(self.source, "resume_at", None)
+        if resume_at is not None:
+            # Push sources cannot random-access history: tell the queue
+            # to swallow the first ``cursor`` re-pushed tuples so a client
+            # replaying its stream from the start continues the
+            # interrupted run exactly.
+            resume_at(self.cursor, self.batch_index)
         self.restored_generation = restored.generation
         self._generation = restored.generation
         registry = obs.get_registry()
@@ -486,15 +499,27 @@ class ImplicationService:
     # Ingest loop
     # ------------------------------------------------------------------ #
 
-    def ingest_step(self) -> bool:
+    def ingest_step(self, stop_event: threading.Event | None = None) -> bool:
         """Ingest exactly one batch through every profile.
 
         Returns ``False`` when the source is drained (after committing
         any unpublished progress), ``True`` otherwise.  A commit happens
         every ``publish_every`` batches and always at end-of-stream, so
         the final published snapshot covers the whole stream.
+
+        With a push source, ``stop_event`` makes the step *wait* for the
+        next batch (waking on data, close, or the event); without one the
+        step never blocks — a momentarily empty live queue returns
+        ``True`` with no progress, so tests and contracts can interleave
+        pushes with steps freely.
         """
-        batch = self.source.batch(self.batch_index)
+        if stop_event is not None:
+            batch = self.source.wait_batch(self.batch_index, stop_event)
+        else:
+            batch = self.source.batch(self.batch_index)
+        if batch is PENDING:
+            # Live push stream, nothing buffered yet — not end-of-stream.
+            return True
         if batch is None:
             if self._since_publish:
                 self.commit()
@@ -602,9 +627,11 @@ class ImplicationService:
             }
             window_view = None
             window_estimator = None
+            window_payload = None
             if name in self.windowed:
                 west = self.windowed[name]
                 window_estimator = west.merged()
+                window_payload = window_estimator.to_bytes()
                 window_view = {
                     "window": west.window,
                     "generations": west.generations,
@@ -612,6 +639,7 @@ class ImplicationService:
                     "start": west.window_start,
                     "covered": west.tuples_in_window,
                     "digest": west.state_digest(),
+                    "merged_digest": estimator_state_digest(window_estimator),
                     "stats": {
                         "implication": window_estimator.implication_count(),
                         "nonimplication": window_estimator.nonimplication_count(),
@@ -630,6 +658,7 @@ class ImplicationService:
                 stats=stats,
                 window=window_view,
                 window_estimator=window_estimator,
+                window_payload=window_payload,
             )
         self.store.publish(snapshots)
 
@@ -652,8 +681,12 @@ class ImplicationService:
         pace = self.config.pace_tps
         started = time.monotonic()
         paced_start = self.cursor  # resume paces the remainder, not history
+        # A push source's wait_batch needs an event to watch even when the
+        # caller did not supply one (it would otherwise never wake a
+        # blocked wait); pull sources never consult it.
+        waiter = stop_event if stop_event is not None else threading.Event()
         while stop_event is None or not stop_event.is_set():
-            if not self.ingest_step():
+            if not self.ingest_step(waiter):
                 return
             if pace is not None:
                 due = started + (self.cursor - paced_start) / pace

@@ -20,6 +20,12 @@ First-party sources:
 * :class:`ArraySource` — wraps concrete arrays (tests, the equivalence
   contract, and the :mod:`repro.datasets` generators via
   ``dataset-one:`` specs).
+* :class:`PushSource` — the write path: clients *push* ``(lhs, rhs)``
+  chunks (``POST /ingest``) into a bounded queue the ingest loop drains.
+  Pushes are re-chunked onto the same absolute ``batch_size`` grid the
+  pull sources use, so a drained push stream lands bit-for-bit on the
+  digest of the equivalent :class:`ArraySource` run (the
+  ``serve-push-equivalence`` contract).
 
 ``make_source`` parses the CLI's ``--source`` spec strings.
 """
@@ -27,12 +33,28 @@ First-party sources:
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections import deque
 
 import numpy as np
 
 from ..verify.streams import generate_stream, profile_names
 
-__all__ = ["StreamSource", "ProfileSource", "ArraySource", "make_source"]
+__all__ = [
+    "StreamSource",
+    "ProfileSource",
+    "ArraySource",
+    "PushSource",
+    "PushBacklogFull",
+    "PENDING",
+    "make_source",
+]
+
+#: Sentinel returned by :meth:`StreamSource.wait_batch` when a push source
+#: has no complete batch yet but is not closed — the ingest loop should
+#: re-check its stop event and wait again, *not* treat the stream as
+#: drained (``None``) or ingest anything.
+PENDING = object()
 
 
 class StreamSource:
@@ -43,6 +65,20 @@ class StreamSource:
     def batch(self, index: int) -> tuple[np.ndarray, np.ndarray] | None:
         """Batch ``index`` as ``(lhs, rhs)``, or ``None`` past the end."""
         raise NotImplementedError
+
+    def wait_batch(
+        self, index: int, stop_event: threading.Event | None = None
+    ):
+        """Batch ``index``, waiting for it if the source is push-fed.
+
+        Pull sources never wait — the default just answers
+        :meth:`batch`.  Push sources block until batch ``index`` is
+        complete (returning it), the stream is closed (``None`` once
+        drained), or ``stop_event`` is set (:data:`PENDING`, so the
+        caller can commit and stop without misreading a pause as
+        end-of-stream).
+        """
+        return self.batch(index)
 
     def describe(self) -> dict:
         """JSON-able identity of this source.
@@ -157,6 +193,221 @@ class ArraySource(StreamSource):
         }
 
 
+class PushBacklogFull(RuntimeError):
+    """The push queue is at capacity — the client must back off and retry.
+
+    Raised by :meth:`PushSource.push` instead of buffering without bound:
+    the serving layer's memory is constrained by construction, so
+    backpressure is explicit (HTTP maps this to ``429`` with a
+    ``Retry-After`` hint) and never silent.
+    """
+
+    def __init__(self, pending_tuples: int, capacity_tuples: int) -> None:
+        super().__init__(
+            f"push backlog full: {pending_tuples} tuples pending against a "
+            f"capacity of {capacity_tuples} — drain before pushing more"
+        )
+        self.pending_tuples = pending_tuples
+        self.capacity_tuples = capacity_tuples
+        #: Seconds a client should wait before retrying (coarse hint).
+        self.retry_after = 1
+
+
+class PushSource(StreamSource):
+    """Bounded queue of client-pushed tuples, drained by the ingest loop.
+
+    The write path: ``POST /ingest`` (or :meth:`push` directly) appends
+    ``(lhs, rhs)`` chunks of *any* size; the source re-chunks them onto
+    the absolute ``batch_size`` grid every pull source uses, so the merge
+    structure — and therefore every published digest — is identical to an
+    :class:`ArraySource` over the concatenated pushes.  How a client
+    chunks its pushes can never leak into served state.
+
+    Capacity is bounded at ``capacity_batches * batch_size`` buffered
+    tuples: a push that would exceed it raises :class:`PushBacklogFull`
+    instead of buffering unboundedly, and the client retries after the
+    loop drains.  ``close()`` marks end-of-stream — once the buffer
+    drains, :meth:`wait_batch` answers ``None`` (a trailing partial batch
+    is emitted first, exactly like a bounded pull source's short final
+    batch).
+
+    The source is single-consumer and monotone: the ingest loop asks for
+    batch ``i`` exactly once, in order, and consumed batches are dropped
+    (memory stays bounded).  Determinism across restarts is the client's
+    replay responsibility: on resume the service calls :meth:`resume_at`
+    and the source silently swallows the first ``cursor`` re-pushed
+    tuples, so a client that replays its stream from the beginning lands
+    on the uninterrupted digest — the discipline the CI push smoke
+    proves end-to-end.
+    """
+
+    def __init__(
+        self, *, batch_size: int = 4096, capacity_batches: int = 64
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if capacity_batches < 1:
+            raise ValueError(
+                f"capacity_batches must be >= 1, got {capacity_batches}"
+            )
+        self.batch_size = batch_size
+        self.capacity_batches = capacity_batches
+        self._state = threading.Condition()
+        self._ready: deque[tuple[np.ndarray, np.ndarray]] = deque()
+        self._tail: list[tuple[np.ndarray, np.ndarray]] = []
+        self._tail_tuples = 0
+        self._closed = False
+        self._next_index = 0
+        self._skip_remaining = 0
+        self.pushed_tuples = 0
+        self.skipped_tuples = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side (HTTP POST /ingest)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity_tuples(self) -> int:
+        return self.capacity_batches * self.batch_size
+
+    @property
+    def pending_tuples(self) -> int:
+        """Buffered tuples not yet handed to the ingest loop."""
+        with self._state:
+            return self._pending_locked()
+
+    def _pending_locked(self) -> int:
+        return len(self._ready) * self.batch_size + self._tail_tuples
+
+    def push(self, lhs: np.ndarray, rhs: np.ndarray) -> int:
+        """Append one client chunk; returns the tuples actually buffered.
+
+        Raises :class:`PushBacklogFull` when the chunk does not fit —
+        atomically: a rejected push buffers nothing, so the client can
+        retry the identical chunk after backing off.  Raises
+        ``ValueError`` on malformed chunks or pushes after ``close()``.
+        """
+        lhs = np.ascontiguousarray(lhs, dtype=np.uint64)
+        rhs = np.ascontiguousarray(rhs, dtype=np.uint64)
+        if lhs.ndim != 1 or lhs.shape != rhs.shape:
+            raise ValueError(
+                f"push chunks must be equal-length 1-d arrays, got "
+                f"{lhs.shape} vs {rhs.shape}"
+            )
+        with self._state:
+            if self._closed:
+                raise ValueError("push after close(): the stream has ended")
+            skip = min(self._skip_remaining, len(lhs))
+            if skip:
+                self._skip_remaining -= skip
+                self.skipped_tuples += skip
+                lhs, rhs = lhs[skip:], rhs[skip:]
+            if not len(lhs):
+                return 0
+            pending = self._pending_locked()
+            if pending + len(lhs) > self.capacity_tuples:
+                raise PushBacklogFull(pending, self.capacity_tuples)
+            self._tail.append((lhs, rhs))
+            self._tail_tuples += len(lhs)
+            self.pushed_tuples += len(lhs)
+            while self._tail_tuples >= self.batch_size:
+                self._ready.append(self._carve_locked(self.batch_size))
+            self._state.notify_all()
+            return len(lhs)
+
+    def close(self) -> None:
+        """Mark end-of-stream; the buffered remainder still drains."""
+        with self._state:
+            self._closed = True
+            self._state.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._state:
+            return self._closed
+
+    def _carve_locked(self, size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Take exactly ``size`` tuples off the front of the tail buffer."""
+        lhs_parts, rhs_parts, taken = [], [], 0
+        while taken < size:
+            lhs, rhs = self._tail[0]
+            take = min(size - taken, len(lhs))
+            lhs_parts.append(lhs[:take])
+            rhs_parts.append(rhs[:take])
+            taken += take
+            if take == len(lhs):
+                self._tail.pop(0)
+            else:
+                self._tail[0] = (lhs[take:], rhs[take:])
+        self._tail_tuples -= size
+        return np.concatenate(lhs_parts), np.concatenate(rhs_parts)
+
+    # ------------------------------------------------------------------ #
+    # Consumer side (the ingest loop)
+    # ------------------------------------------------------------------ #
+
+    def resume_at(self, cursor: int, batch_index: int) -> None:
+        """Skip the already-ingested prefix after a checkpoint restore.
+
+        ``cursor`` must sit on the batch grid (commits happen at batch
+        boundaries); the first ``cursor`` tuples subsequently pushed are
+        swallowed, so a client replaying its stream from the beginning
+        continues the interrupted run exactly.
+        """
+        if cursor != batch_index * self.batch_size:
+            raise ValueError(
+                f"cannot resume a push source at cursor {cursor}: not on "
+                f"the batch_size={self.batch_size} grid of batch "
+                f"{batch_index}"
+            )
+        with self._state:
+            if self._next_index or self.pushed_tuples:
+                raise ValueError("resume_at on a source that already served")
+            self._next_index = batch_index
+            self._skip_remaining = cursor
+
+    def batch(self, index: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """Non-blocking pull: the ready batch, ``None`` when drained after
+        ``close()``, or :data:`PENDING` while the queue is momentarily
+        empty on a live stream."""
+        return self._take(index, block=False, stop_event=None)
+
+    def wait_batch(
+        self, index: int, stop_event: threading.Event | None = None
+    ):
+        return self._take(index, block=True, stop_event=stop_event)
+
+    def _take(self, index: int, *, block: bool, stop_event):
+        with self._state:
+            if index != self._next_index:
+                raise ValueError(
+                    f"push sources are single-consumer and monotone: asked "
+                    f"for batch {index}, expected {self._next_index}"
+                )
+            while True:
+                if self._ready:
+                    batch = self._ready.popleft()
+                    self._next_index += 1
+                    return batch
+                if self._closed:
+                    if self._tail_tuples:
+                        batch = self._carve_locked(self._tail_tuples)
+                        self._next_index += 1
+                        return batch
+                    return None
+                if not block or (stop_event is not None and stop_event.is_set()):
+                    return PENDING
+                # Short timed waits so a stop request set without a
+                # notify (another process's signal handler) still wakes us.
+                self._state.wait(0.05)
+
+    def describe(self) -> dict:
+        # Capacity is backpressure cadence, not data identity — two runs
+        # with different capacities drain identical batches — so it stays
+        # out of the resume-enforced description, like ``publish_every``.
+        return {"kind": "push", "batch_size": self.batch_size}
+
+
 def _parse_params(raw: str, spec: str) -> dict[str, int]:
     params: dict[str, int] = {}
     for chunk in raw.split(","):
@@ -188,11 +439,30 @@ def make_source(
       the Section 6.1 Dataset One generator, bounded by construction
       (``tuples`` and ``batch_size`` slice it; its own size wins when
       ``tuples`` is None).
+    * ``push`` or ``push:capacity=N`` — a :class:`PushSource` write path
+      (``POST /ingest``) holding at most N batches of backlog
+      (default 64); bounded by the client's close, never by ``tuples``.
     """
     kind, _, rest = spec.partition(":")
     if kind == "profile":
         return ProfileSource(
             rest, seed=seed, batch_size=batch_size, tuples=tuples
+        )
+    if kind == "push":
+        if tuples is not None:
+            raise ValueError(
+                "push sources are bounded by the client closing the "
+                "stream, not by --tuples"
+            )
+        params = _parse_params(rest, spec)
+        unknown = set(params) - {"capacity"}
+        if unknown:
+            raise ValueError(
+                f"unknown push parameters {sorted(unknown)} in {spec!r}"
+            )
+        return PushSource(
+            batch_size=batch_size,
+            capacity_batches=params.get("capacity", 64),
         )
     if kind == "dataset-one":
         from ..datasets.synthetic import generate_dataset_one
@@ -226,6 +496,7 @@ def make_source(
             },
         )
     raise ValueError(
-        f"unknown source spec {spec!r}; expected 'profile:NAME' or "
-        f"'dataset-one[:cardinality=..,implied=..,c=..]'"
+        f"unknown source spec {spec!r}; expected 'profile:NAME', "
+        f"'dataset-one[:cardinality=..,implied=..,c=..]' or "
+        f"'push[:capacity=N]'"
     )

@@ -446,6 +446,158 @@ def _check_serve_snapshot_equivalence(case: StreamCase) -> str | None:
     return None
 
 
+def _check_serve_push_equivalence(case: StreamCase) -> str | None:
+    """A drained push stream == the equivalent pull run, bit-for-bit.
+
+    The write path re-chunks arbitrary client pushes onto the absolute
+    ``batch_size`` grid, so *how* a client chunks its pushes must never
+    leak into served state.  This check drives
+    :class:`~repro.serving.sources.PushSource`-backed services through
+    three adversarial legs and pins every final digest to the same
+    :func:`~repro.serving.service.offline_reference` single pass an
+    :class:`~repro.serving.sources.ArraySource` run lands on:
+
+    * **Irregular chunking** — the case stream pushed in a cycling
+      pattern of awkward chunk sizes (1 tuple, half batches, exact
+      batches, stragglers) against a 2-batch-capacity queue, so
+      :class:`~repro.serving.sources.PushBacklogFull` backpressure fires
+      repeatedly and every accepted retry really is the rejected chunk
+      re-sent verbatim.
+    * **Interleaving** — pushes and ingest steps interleave freely
+      (drain-on-429), so batches are carved while the producer is
+      mid-stream, not only after close.
+    * **Interrupt + resume** — a checkpointed service is abandoned
+      mid-stream (the SIGTERM story), a fresh service resumes from its
+      checkpoint directory, and the client replays the stream *from the
+      beginning with different chunk sizes*; the source must swallow
+      exactly the committed prefix and the drained digest must equal the
+      uninterrupted one.
+
+    No theta scope: push and pull legs share the identical merge
+    structure, so any divergence is a write-path defect (mis-carved
+    batch, tuples dropped under backpressure, resume skipping the wrong
+    prefix), never a documented approximation.
+    """
+    from ..serving.service import ImplicationService, ServeConfig, offline_reference
+    from ..serving.sources import PushBacklogFull
+
+    batch = max(len(case.lhs) // 3, 1)
+    config = ServeConfig(
+        source="push:capacity=2",
+        batch_size=batch,
+        publish_every=1,
+        workers=2,
+        num_bitmaps=case.num_bitmaps,
+        seed=case.hash_seed,
+    )
+    chunk_cycle = (1, max(batch // 2, 1), batch, 3, max(batch - 1, 1))
+
+    def feed(service, lhs, rhs, *, phase, close=True, cycle=chunk_cycle):
+        """Push the whole stream in irregular chunks, draining on 429."""
+        offset, step = 0, 0
+        while offset < len(lhs):
+            size = min(cycle[step % len(cycle)], len(lhs) - offset)
+            step += 1
+            for _ in range(64):
+                try:
+                    service.source.push(
+                        lhs[offset : offset + size],
+                        rhs[offset : offset + size],
+                    )
+                    break
+                except PushBacklogFull:
+                    # Backpressure: drain one batch, retry the identical
+                    # chunk — exactly the client's 429 discipline.
+                    service.ingest_step()
+            else:
+                return f"{phase}: backpressure never cleared after 64 drains"
+            offset += size
+        if close:
+            service.source.close()
+        return None
+
+    # Leg 1+2: irregular chunking interleaved with backpressure drains.
+    service = ImplicationService(config, profiles={"case": case.conditions})
+    error = feed(service, case.lhs, case.rhs, phase="uninterrupted push")
+    if error:
+        return error
+    while service.ingest_step():
+        pass
+    if service.cursor != len(case.lhs):
+        return (
+            f"push service drained at cursor {service.cursor}, "
+            f"expected {len(case.lhs)}"
+        )
+    pushed_digest = service.store.get("case").digest
+    reference = offline_reference(
+        service.templates["case"],
+        case.lhs,
+        case.rhs,
+        batch_size=batch,
+        workers=2,
+    )
+    if estimator_state_digest(reference) != pushed_digest:
+        return (
+            "drained push stream diverges from the offline single pass "
+            "over the same tuples (client chunking leaked into state)"
+        )
+
+    # Leg 3: abandon a checkpointed service mid-stream, resume, replay
+    # from the start with *different* chunking.
+    with tempfile.TemporaryDirectory(prefix="repro-push-contract-") as root:
+        first = ImplicationService(
+            config, profiles={"case": case.conditions}, checkpoint_dir=root
+        )
+        prefix = min(2 * batch + 1, len(case.lhs))
+        error = feed(
+            first,
+            case.lhs[:prefix],
+            case.rhs[:prefix],
+            phase="pre-interrupt push",
+            close=False,
+        )
+        if error:
+            return error
+        while first.source.pending_tuples >= batch:
+            first.ingest_step()
+        if first.cursor == 0:
+            return "pre-interrupt service committed nothing to resume from"
+        # The service dies here (no close, buffered stragglers lost) —
+        # only committed generations survive.
+        resumed = ImplicationService(
+            config, profiles={"case": case.conditions}, checkpoint_dir=root
+        )
+        if resumed.cursor != first.cursor:
+            return (
+                f"resume restored cursor {resumed.cursor}, the interrupted "
+                f"service had committed {first.cursor}"
+            )
+        error = feed(
+            resumed,
+            case.lhs,
+            case.rhs,
+            phase="replayed push",
+            cycle=(max(batch // 3, 1), 2, batch, 5),
+        )
+        if error:
+            return error
+        while resumed.ingest_step():
+            pass
+        if resumed.source.skipped_tuples != first.cursor:
+            return (
+                f"resumed source swallowed {resumed.source.skipped_tuples} "
+                f"replayed tuples, expected the committed prefix of "
+                f"{first.cursor}"
+            )
+        resumed_digest = resumed.store.get("case").digest
+        if resumed_digest != pushed_digest:
+            return (
+                "resumed push run diverges from the uninterrupted one "
+                "(replay-from-start did not land on the committed prefix)"
+            )
+    return None
+
+
 def _check_windowed_offline_replay(case: StreamCase) -> str | None:
     """The windowed readout at cursor t is a function of only the last W
     tuples — expired evidence leaves no trace.
@@ -989,6 +1141,16 @@ CONTRACTS: tuple[Contract, ...] = (
             "payload decodes to the served digest (all condition profiles)"
         ),
         check=_check_serve_snapshot_equivalence,
+    ),
+    Contract(
+        name="serve-push-equivalence",
+        description=(
+            "a drained push-ingest stream lands bit-for-bit on the digest "
+            "of the equivalent pull-source run — irregular client "
+            "chunking, backpressure retries, and interrupt/replay resume "
+            "all included (all condition profiles)"
+        ),
+        check=_check_serve_push_equivalence,
     ),
     Contract(
         name="windowed-vs-offline-replay",

@@ -9,8 +9,10 @@ run, and ``/metrics`` never 500s under concurrent load.
 
 from __future__ import annotations
 
+import io
 import json
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -18,6 +20,7 @@ import time
 import urllib.error
 import urllib.request
 from pathlib import Path
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -32,14 +35,22 @@ from repro.serving import (
     ArraySource,
     ImplicationService,
     ProfileSource,
+    PushBacklogFull,
+    PushSource,
     ServeConfig,
     make_source,
     offline_reference,
 )
+from repro.serving.aio import build_async_server
 from repro.serving.http import build_server
+from repro.serving.sources import PENDING
 from repro.verify.streams import generate_stream
 
 SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+#: Both HTTP front-ends, for parametrized coverage — they share the
+#: Router, and these tests hold them to identical observable behavior.
+FRONTENDS = {"threaded": build_server, "asyncio": build_async_server}
 
 
 @pytest.fixture()
@@ -62,6 +73,39 @@ def get(port: int, path: str, timeout: float = 10.0):
             return response.status, response.read(), dict(response.headers)
     except urllib.error.HTTPError as error:
         return error.code, error.read(), dict(error.headers)
+
+
+def post(
+    port: int,
+    path: str,
+    body: bytes,
+    content_type: str = "application/json",
+    timeout: float = 10.0,
+):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=body,
+        method="POST",
+        headers={"Content-Type": content_type},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def serve_on_thread(build, service):
+    """Start a front-end for ``service``; returns (server, join-less stop)."""
+    server = build(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def stop() -> None:
+        server.shutdown()
+        server.server_close()
+
+    return server, stop
 
 
 class TestSources:
@@ -108,6 +152,113 @@ class TestSources:
             make_source("dataset-one:bogus=1")
         with pytest.raises(ValueError):
             make_source("dataset-one:cardinality=abc")
+
+    def test_make_source_push_specs(self):
+        source = make_source("push:capacity=3", batch_size=10)
+        assert isinstance(source, PushSource)
+        assert source.capacity_tuples == 30
+        assert make_source("push").describe() == {
+            "kind": "push",
+            "batch_size": 4096,
+        }
+        with pytest.raises(ValueError, match="--tuples"):
+            make_source("push", tuples=100)
+        with pytest.raises(ValueError, match="unknown push"):
+            make_source("push:bogus=1")
+
+
+def _column(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint64)
+
+
+class TestPushSource:
+    def test_rechunks_onto_absolute_batch_grid(self):
+        source = PushSource(batch_size=4, capacity_batches=8)
+        # Awkward chunk sizes: 1, 6, 1 — batches must still be 4/4/tail.
+        source.push(_column([0]), _column([100]))
+        source.push(_column([1, 2, 3, 4, 5, 6]), _column([101, 102, 103, 104, 105, 106]))
+        source.push(_column([7]), _column([107]))
+        assert source.batch(0)[0].tolist() == [0, 1, 2, 3]
+        assert source.batch(1)[1].tolist() == [104, 105, 106, 107]
+        assert source.batch(2) is PENDING  # live stream, nothing buffered
+        source.close()
+        assert source.batch(2) is None
+
+    def test_trailing_partial_batch_drains_after_close(self):
+        source = PushSource(batch_size=4)
+        source.push(_column([1, 2, 3, 4, 5, 6]), _column([1, 2, 3, 4, 5, 6]))
+        assert len(source.batch(0)[0]) == 4
+        source.close()
+        assert source.batch(1)[0].tolist() == [5, 6]
+        assert source.batch(2) is None
+
+    def test_backpressure_is_atomic(self):
+        source = PushSource(batch_size=4, capacity_batches=1)
+        source.push(_column([1, 2, 3]), _column([1, 2, 3]))
+        with pytest.raises(PushBacklogFull) as excinfo:
+            source.push(_column([4, 5]), _column([4, 5]))
+        assert excinfo.value.pending_tuples == 3
+        assert excinfo.value.capacity_tuples == 4
+        assert excinfo.value.retry_after >= 1
+        # Atomic: the rejected chunk buffered nothing.
+        assert source.pending_tuples == 3
+        source.push(_column([4]), _column([4]))  # exactly fits
+        assert source.batch(0)[0].tolist() == [1, 2, 3, 4]
+
+    def test_single_consumer_monotone(self):
+        source = PushSource(batch_size=2)
+        source.push(_column([1, 2, 3, 4]), _column([1, 2, 3, 4]))
+        source.batch(0)
+        with pytest.raises(ValueError, match="monotone"):
+            source.batch(0)  # re-reading a consumed batch
+        with pytest.raises(ValueError, match="monotone"):
+            source.batch(5)  # skipping ahead
+
+    def test_push_validation(self):
+        source = PushSource(batch_size=4)
+        with pytest.raises(ValueError, match="equal-length"):
+            source.push(_column([1, 2]), _column([1]))
+        source.close()
+        with pytest.raises(ValueError, match="close"):
+            source.push(_column([1]), _column([1]))
+
+    def test_wait_batch_wakes_on_stop_event(self):
+        source = PushSource(batch_size=4)
+        stop = threading.Event()
+        stop.set()
+        assert source.wait_batch(0, stop) is PENDING
+
+    def test_wait_batch_blocks_until_push(self):
+        source = PushSource(batch_size=2)
+        got = []
+
+        def consumer() -> None:
+            got.append(source.wait_batch(0, threading.Event()))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        source.push(_column([8, 9]), _column([8, 9]))
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert got[0][0].tolist() == [8, 9]
+
+    def test_resume_swallows_committed_prefix(self):
+        source = PushSource(batch_size=4)
+        source.resume_at(8, 2)
+        source.push(_column(range(10)), _column(range(10)))
+        assert source.skipped_tuples == 8
+        assert source.pushed_tuples == 2
+        source.close()
+        assert source.batch(2)[0].tolist() == [8, 9]
+
+    def test_resume_rejects_off_grid_cursor(self):
+        source = PushSource(batch_size=4)
+        with pytest.raises(ValueError, match="grid"):
+            source.resume_at(6, 1)
+        used = PushSource(batch_size=4)
+        used.push(_column([1]), _column([1]))
+        with pytest.raises(ValueError, match="already served"):
+            used.resume_at(4, 1)
 
 
 class TestServiceCore:
@@ -337,8 +488,10 @@ class TestConcurrentReads:
 
 
 class TestHTTPEndpoints:
-    @pytest.fixture()
-    def served(self, registry):
+    """The endpoint table, run identically against both front-ends."""
+
+    @pytest.fixture(params=sorted(FRONTENDS))
+    def served(self, request, registry):
         lhs, rhs = generate_stream("skewed", 12, 600)
         service = ImplicationService(
             ServeConfig(batch_size=200, num_bitmaps=8),
@@ -350,12 +503,9 @@ class TestHTTPEndpoints:
         )
         while service.ingest_step():
             pass
-        httpd = build_server(service)
-        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
-        thread.start()
-        yield service, httpd.server_address[1], lhs
-        httpd.shutdown()
-        httpd.server_close()
+        server, stop = serve_on_thread(FRONTENDS[request.param], service)
+        yield service, server.server_address[1], lhs
+        stop()
 
     def test_health(self, served):
         service, port, _ = served
@@ -413,6 +563,327 @@ class TestHTTPEndpoints:
         assert estimator_state_digest(decoded) == headers["X-Repro-Digest"]
         assert int(headers["X-Repro-Cursor"]) == 600
 
+    def test_window_flag_falsey_spellings_read_landmark(self, served):
+        """``window=0/false/no/off`` must behave exactly like no flag —
+        the regression was 400ing every spelling that wasn't truthy."""
+        _, port, _ = served
+        want = get(port, "/snapshot?profile=strict")[2]["X-Repro-Digest"]
+        for spelling in ("0", "false", "no", "off"):
+            status, _, headers = get(
+                port, f"/snapshot?profile=strict&window={spelling}"
+            )
+            assert status == 200, spelling
+            assert headers["X-Repro-Digest"] == want
+            assert get(port, f"/query?profile=strict&window={spelling}")[0] == 200
+
+    def test_window_flag_gibberish_rejected(self, served):
+        _, port, _ = served
+        status, body, _ = get(port, "/snapshot?profile=strict&window=maybe")
+        assert status == 400
+        assert b"window" in body
+
+    def test_windowed_snapshot_refused_without_window(self, served):
+        """A landmark-only service must refuse ``/snapshot?window=1``
+        explicitly — the regression served the landmark payload under the
+        landmark digest while the client believed it got windowed bytes."""
+        _, port, _ = served
+        status, body, _ = get(port, "/snapshot?profile=strict&window=1")
+        assert status == 400
+        assert b"--window" in body
+
+    def test_keep_alive_connection_reuse(self, served):
+        import http.client
+
+        _, port, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            sock = None
+            for _ in range(3):
+                connection.request("GET", "/health")
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 200
+                if sock is None:
+                    sock = connection.sock
+                assert connection.sock is sock  # same socket — reused
+        finally:
+            connection.close()
+
+    def test_post_routing_errors(self, served):
+        _, port, _ = served
+        assert get(port, "/ingest")[0] == 405
+        assert post(port, "/health", b"{}")[0] == 404
+        # A pull-source service has no push queue to ingest into.
+        status, body, _ = post(port, "/ingest", b'{"lhs": [], "rhs": []}')
+        assert status == 409
+        assert b"--source push" in body
+
+
+class TestWindowedSnapshotEndpoint:
+    @pytest.fixture(params=sorted(FRONTENDS))
+    def windowed(self, request, registry):
+        lhs, rhs = generate_stream("skewed", 21, 600)
+        service = ImplicationService(
+            ServeConfig(
+                batch_size=50, num_bitmaps=8, window=200, window_generations=4
+            ),
+            source=ArraySource(lhs, rhs, batch_size=50),
+            profiles={"case": small_conditions()},
+        )
+        while service.ingest_step():
+            pass
+        server, stop = serve_on_thread(FRONTENDS[request.param], service)
+        yield service, server.server_address[1]
+        stop()
+
+    def test_windowed_snapshot_serves_merged_payload(self, windowed):
+        service, port = windowed
+        status, body, headers = get(port, "/snapshot?profile=case&window=1")
+        assert status == 200
+        snapshot = service.store.get("case")
+        assert headers["X-Repro-Digest"] == snapshot.window["merged_digest"]
+        assert headers["X-Repro-Window-Digest"] == snapshot.window["digest"]
+        assert int(headers["X-Repro-Window"]) == 200
+        decoded = ImplicationCountEstimator.from_bytes(body)
+        assert estimator_state_digest(decoded) == headers["X-Repro-Digest"]
+        # And the landmark payload is still the default, under a
+        # different digest — the two views can never be confused.
+        landmark = get(port, "/snapshot?profile=case")[2]["X-Repro-Digest"]
+        assert landmark == snapshot.digest != headers["X-Repro-Digest"]
+
+
+class TestClientDisconnects:
+    """A vanished client is a counter bump, never a traceback.
+
+    The regression: the threaded handler caught only ``BrokenPipeError``,
+    so ``ConnectionResetError`` (a RST instead of a FIN) and socket
+    timeouts dumped tracebacks per dropped client under load.
+    """
+
+    def _drained_service(self):
+        lhs, rhs = generate_stream("uniform", 5, 100)
+        service = ImplicationService(
+            ServeConfig(batch_size=50, num_bitmaps=8),
+            source=ArraySource(lhs, rhs, batch_size=50),
+            profiles={"case": small_conditions()},
+        )
+        while service.ingest_step():
+            pass
+        return service
+
+    @pytest.mark.parametrize(
+        "error",
+        [BrokenPipeError, ConnectionResetError, ConnectionAbortedError, TimeoutError],
+    )
+    def test_threaded_handler_counts_disconnect(self, registry, error):
+        from repro.serving.http import Router, _Handler
+
+        service = self._drained_service()
+
+        class _Vanished:
+            def write(self, data):
+                raise error()
+
+            def flush(self):  # pragma: no cover - never reached
+                pass
+
+        handler = object.__new__(_Handler)
+        handler.path = "/health"
+        handler.headers = {}
+        handler.rfile = io.BytesIO(b"")
+        handler.wfile = _Vanished()
+        handler.server = SimpleNamespace(router=Router(service))
+        handler.requestline = "GET /health HTTP/1.1"
+        handler.request_version = "HTTP/1.1"
+        handler.client_address = ("127.0.0.1", 0)
+        handler.close_connection = False
+
+        handler._handle("GET")  # must not raise
+
+        assert registry.counter("serving.http.client_disconnects").value == 1
+        assert handler.close_connection
+
+    def test_asyncio_counts_aborted_request(self, registry):
+        service = self._drained_service()
+        server, stop = serve_on_thread(build_async_server, service)
+        try:
+            with socket.create_connection(server.server_address) as sock:
+                # Promise a body, deliver a fragment, vanish.
+                sock.sendall(
+                    b"POST /ingest HTTP/1.1\r\n"
+                    b"Content-Length: 64\r\n\r\nshort"
+                )
+            deadline = time.monotonic() + 30.0
+            counter = registry.counter("serving.http.client_disconnects")
+            while counter.value == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert counter.value == 1
+        finally:
+            stop()
+
+
+class TestPushIngestHTTP:
+    """``POST /ingest`` through a real front-end: validation, digests,
+    explicit backpressure."""
+
+    @pytest.fixture(params=sorted(FRONTENDS))
+    def pushable(self, request, registry):
+        service = ImplicationService(
+            ServeConfig(
+                source="push:capacity=8", batch_size=128, num_bitmaps=8,
+                publish_every=1,
+            ),
+            profiles={"case": small_conditions()},
+        )
+        server, stop = serve_on_thread(FRONTENDS[request.param], service)
+        yield service, server.server_address[1]
+        stop()
+
+    def test_push_stream_lands_on_pull_digest(self, pushable):
+        """JSON + binary pushes, closed and drained, equal the offline
+        pull reference bit-for-bit — the tentpole identity over HTTP."""
+        service, port = pushable
+        lhs, rhs = generate_stream("skewed", 17, 600)
+        half = 300
+        status, body, _ = post(
+            port,
+            "/ingest",
+            json.dumps(
+                {"lhs": lhs[:half].tolist(), "rhs": rhs[:half].tolist()}
+            ).encode(),
+        )
+        assert status == 200
+        assert json.loads(body)["accepted"] == half
+        blob = (
+            lhs[half:].astype("<u8").tobytes()
+            + rhs[half:].astype("<u8").tobytes()
+        )
+        status, body, _ = post(
+            port, "/ingest?close=1", blob, "application/octet-stream"
+        )
+        assert status == 200
+        assert json.loads(body)["closed"]
+        while service.ingest_step():
+            pass
+        reference = offline_reference(
+            service.templates["case"], lhs, rhs, batch_size=128
+        )
+        snapshot = service.store.get("case")
+        assert snapshot.cursor == 600
+        assert snapshot.digest == estimator_state_digest(reference)
+
+    def test_backpressure_answers_429_with_retry_after(self, pushable):
+        service, port = pushable
+        size = service.source.capacity_tuples
+        full = json.dumps(
+            {"lhs": list(range(size)), "rhs": list(range(size))}
+        ).encode()
+        assert post(port, "/ingest", full)[0] == 200
+        status, body, headers = post(
+            port, "/ingest", b'{"lhs": [1], "rhs": [1]}'
+        )
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        rejected = json.loads(body)
+        assert rejected["pending"] == size
+        assert rejected["capacity"] == size
+        # The client's discipline: drain, then the identical retry lands.
+        service.ingest_step()
+        assert post(port, "/ingest", b'{"lhs": [1], "rhs": [1]}')[0] == 200
+
+    def test_malformed_bodies_buffer_nothing(self, pushable):
+        service, port = pushable
+        cases = [
+            (b"not json", "application/json"),
+            (b"[1, 2]", "application/json"),
+            (b'{"lhs": [1]}', "application/json"),
+            (b'{"lhs": [1], "rhs": [1, 2]}', "application/json"),
+            (b'{"lhs": [1], "rhs": [-1]}', "application/json"),
+            (b'{"lhs": [1], "rhs": [1.5]}', "application/json"),
+            (b'{"lhs": [true], "rhs": [1]}', "application/json"),
+            (b'{"lhs": [1], "rhs": [1], "extra": []}', "application/json"),
+            (b"\x00" * 15, "application/octet-stream"),  # not 16-aligned
+            (b"{}", "text/plain"),
+        ]
+        for body, content_type in cases:
+            status, _, _ = post(port, "/ingest", body, content_type)
+            assert status == 400, (body, content_type)
+        assert service.source.pending_tuples == 0
+        assert service.source.pushed_tuples == 0
+
+    def test_malformed_close_chunk_does_not_close_stream(self, pushable):
+        service, port = pushable
+        assert post(port, "/ingest?close=1", b"not json")[0] == 400
+        assert not service.source.closed
+
+    def test_oversized_body_refused(self, pushable):
+        from repro.serving.http import MAX_INGEST_BODY
+
+        _, port = pushable
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/ingest",
+            data=b"x",
+            method="POST",
+            headers={
+                "Content-Type": "application/octet-stream",
+                "Content-Length": str(MAX_INGEST_BODY + 16),
+            },
+        )
+        with pytest.raises(
+            (urllib.error.HTTPError, ConnectionError, urllib.error.URLError)
+        ) as excinfo:
+            urllib.request.urlopen(request, timeout=10.0)
+        if isinstance(excinfo.value, urllib.error.HTTPError):
+            assert excinfo.value.code == 413
+
+
+@pytest.mark.slow
+class TestConcurrentHTTPReads:
+    """Never-torn reads, end to end over real sockets, both front-ends."""
+
+    @pytest.mark.parametrize("frontend", sorted(FRONTENDS))
+    def test_http_snapshot_reads_never_torn(self, registry, frontend):
+        lhs, rhs = generate_stream("duplicate_heavy", 19, 1500)
+        service = ImplicationService(
+            ServeConfig(batch_size=125, num_bitmaps=8),
+            source=ArraySource(lhs, rhs, batch_size=125),
+            profiles={"case": small_conditions()},
+        )
+        server, stop = serve_on_thread(FRONTENDS[frontend], service)
+        port = server.server_address[1]
+        torn: list[str] = []
+        errors: list[str] = []
+        done = threading.Event()
+
+        def reader() -> None:
+            while not done.is_set():
+                try:
+                    status, body, headers = get(port, "/snapshot?profile=case")
+                    if status != 200:
+                        errors.append(f"status {status}")
+                        continue
+                    digest = estimator_state_digest(
+                        ImplicationCountEstimator.from_bytes(body)
+                    )
+                    if digest != headers["X-Repro-Digest"]:
+                        torn.append(headers["X-Repro-Cursor"])
+                except Exception as error:  # noqa: BLE001 - recorded below
+                    errors.append(repr(error))
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            while service.ingest_step():
+                pass
+        finally:
+            done.set()
+            for thread in readers:
+                thread.join(timeout=30.0)
+            stop()
+        assert torn == []
+        assert errors == []
+
 
 @pytest.mark.slow
 class TestServeSubprocess:
@@ -437,6 +908,32 @@ class TestServeSubprocess:
         listening = json.loads(proc.stdout.readline())
         assert listening["event"] == "listening", listening
         return proc, listening
+
+    def test_asyncio_frontend_serves_and_stops_cleanly(self, tmp_path):
+        proc, listening = self._spawn(tmp_path, ["--frontend", "asyncio"])
+        port = listening["port"]
+        try:
+            assert listening["frontend"] == "asyncio"
+            status, body, _ = get(port, "/health")
+            assert status == 200
+            assert json.loads(body)["profiles"] == [
+                "support-only", "noisy-confidence",
+            ]
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if json.loads(get(port, "/health")[1])["cursor"] > 0:
+                    break
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        stopped = json.loads(out.strip().splitlines()[-1])
+        assert stopped["status"] == "stopped"
+        assert stopped["cursor"] > 0
+        assert "Traceback" not in err, err
 
     def test_sigterm_resume_reaches_uninterrupted_digest(self, tmp_path):
         proc, listening = self._spawn(tmp_path, [])
