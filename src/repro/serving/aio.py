@@ -190,7 +190,9 @@ class AsyncServingServer:
         response = self.router.dispatch(
             method,
             parsed.path,
-            parse_qs(parsed.query),
+            # keep_blank_values so bare flags (?close, ?window) survive —
+            # mirrors the threaded front-end's parse.
+            parse_qs(parsed.query, keep_blank_values=True),
             body=body,
             content_type=headers.get("content-type", ""),
         )

@@ -499,10 +499,17 @@ class _Handler(BaseHTTPRequestHandler):
         """
         try:
             parsed = urlparse(self.path)
-            params = parse_qs(parsed.query)
+            # keep_blank_values so the bare-flag spellings (?close, ?window)
+            # reach _parse_flag as "" instead of vanishing from the params.
+            params = parse_qs(parsed.query, keep_blank_values=True)
             body = b""
             if method == "POST":
-                length = int(self.headers.get("Content-Length", 0) or 0)
+                try:
+                    length = int(self.headers.get("Content-Length", 0) or 0)
+                except ValueError:
+                    self._deliver(_error(400, "malformed Content-Length"))
+                    self.close_connection = True
+                    return
                 if length > MAX_INGEST_BODY:
                     self._deliver(
                         _error(

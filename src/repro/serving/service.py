@@ -482,11 +482,25 @@ class ImplicationService:
         )
         resume_at = getattr(self.source, "resume_at", None)
         if resume_at is not None:
-            # Push sources cannot random-access history: tell the queue
-            # to swallow the first ``cursor`` re-pushed tuples so a client
-            # replaying its stream from the start continues the
-            # interrupted run exactly.
-            resume_at(self.cursor, self.batch_index)
+            ended = bool(restored.manifest["epoch"].get("source_ended", False))
+            if not ended and self.cursor != self.batch_index * self.config.batch_size:
+                # An off-grid cursor can only be the short final batch a
+                # push source emits once the stream closed and drained
+                # (checkpoints older than the explicit marker).
+                ended = True
+            if ended:
+                # The stream is over for good — pushes after close()
+                # raise — so serve the checkpoint as drained instead of
+                # arming a replay skip (whose grid check would reject the
+                # closed stream's off-grid tail cursor).
+                self.source.resume_drained(self.cursor, self.batch_index)
+                self.store.set_status("drained")
+            else:
+                # Push sources cannot random-access history: tell the queue
+                # to swallow the first ``cursor`` re-pushed tuples so a client
+                # replaying its stream from the start continues the
+                # interrupted run exactly.
+                resume_at(self.cursor, self.batch_index)
         self.restored_generation = restored.generation
         self._generation = restored.generation
         registry = obs.get_registry()
@@ -563,7 +577,15 @@ class ImplicationService:
                 _PROFILE_ATTACHMENT + name: payloads[name]
                 for name in list(self.profiles)[1:]
             }
-            epoch: dict = {"batch_index": self.batch_index}
+            epoch: dict = {
+                "batch_index": self.batch_index,
+                # Push streams that closed and fully drained are finished
+                # for good; the marker lets a restart serve this checkpoint
+                # as drained rather than wait for a replay that cannot come.
+                "source_ended": bool(
+                    getattr(self.source, "end_of_stream", False)
+                ),
+            }
             if self.windowed:
                 window_payloads = {
                     name: windowed.generation_payloads()

@@ -238,7 +238,10 @@ class PushSource(StreamSource):
     and the source silently swallows the first ``cursor`` re-pushed
     tuples, so a client that replays its stream from the beginning lands
     on the uninterrupted digest — the discipline the CI push smoke
-    proves end-to-end.
+    proves end-to-end.  A checkpoint taken after the stream ended (close
+    observed, buffer fully drained — possibly on a short final batch,
+    off the cursor grid) restores through :meth:`resume_drained` instead:
+    the finished stream is served as drained, and no replay is expected.
     """
 
     def __init__(
@@ -298,15 +301,21 @@ class PushSource(StreamSource):
             if self._closed:
                 raise ValueError("push after close(): the stream has ended")
             skip = min(self._skip_remaining, len(lhs))
+            kept = len(lhs) - skip
+            if kept:
+                # Capacity check *before* any state moves: a rejected push
+                # must leave the resume-skip accounting untouched too, or a
+                # retried chunk that straddled the resume boundary would
+                # re-buffer tuples the interrupted run already ingested.
+                pending = self._pending_locked()
+                if pending + kept > self.capacity_tuples:
+                    raise PushBacklogFull(pending, self.capacity_tuples)
             if skip:
                 self._skip_remaining -= skip
                 self.skipped_tuples += skip
                 lhs, rhs = lhs[skip:], rhs[skip:]
-            if not len(lhs):
+            if not kept:
                 return 0
-            pending = self._pending_locked()
-            if pending + len(lhs) > self.capacity_tuples:
-                raise PushBacklogFull(pending, self.capacity_tuples)
             self._tail.append((lhs, rhs))
             self._tail_tuples += len(lhs)
             self.pushed_tuples += len(lhs)
@@ -325,6 +334,15 @@ class PushSource(StreamSource):
     def closed(self) -> bool:
         with self._state:
             return self._closed
+
+    @property
+    def end_of_stream(self) -> bool:
+        """True once ``close()`` was called and every buffered tuple was
+        consumed — the stream is over for good (pushes after close raise),
+        which the service records in its checkpoints so a restart serves a
+        finished stream as drained instead of arming a replay skip."""
+        with self._state:
+            return self._closed and not self._ready and not self._tail_tuples
 
     def _carve_locked(self, size: int) -> tuple[np.ndarray, np.ndarray]:
         """Take exactly ``size`` tuples off the front of the tail buffer."""
@@ -365,6 +383,34 @@ class PushSource(StreamSource):
                 raise ValueError("resume_at on a source that already served")
             self._next_index = batch_index
             self._skip_remaining = cursor
+
+    def resume_drained(self, cursor: int, batch_index: int) -> None:
+        """Restore the tail position of a stream that already ended.
+
+        The counterpart of :meth:`resume_at` for checkpoints whose stream
+        closed and fully drained before the commit: the cursor may sit
+        *off* the batch grid (a closed stream's short final batch), and
+        nothing will ever be re-pushed — pushes after ``close()`` raise —
+        so the source restores as closed-and-empty and the service serves
+        the checkpoint as drained.
+        """
+        tail = cursor - (batch_index - 1) * self.batch_size
+        if batch_index < 0 or cursor < 0 or (
+            (batch_index == 0 and cursor != 0)
+            or (batch_index > 0 and not 0 < tail <= self.batch_size)
+        ):
+            raise ValueError(
+                f"cursor {cursor} is not the tail of final batch "
+                f"{batch_index} at batch_size={self.batch_size}"
+            )
+        with self._state:
+            if self._next_index or self.pushed_tuples:
+                raise ValueError(
+                    "resume_drained on a source that already served"
+                )
+            self._next_index = batch_index
+            self._closed = True
+            self._state.notify_all()
 
     def batch(self, index: int) -> tuple[np.ndarray, np.ndarray] | None:
         """Non-blocking pull: the ready batch, ``None`` when drained after

@@ -260,6 +260,54 @@ class TestPushSource:
         with pytest.raises(ValueError, match="already served"):
             used.resume_at(4, 1)
 
+    def test_rejected_push_leaves_resume_skip_intact(self):
+        """A 429'd push must be atomic *including* the resume-skip state —
+        the regression consumed the skip prefix before the capacity check,
+        so the client's subsequent (split) retries re-buffered tuples the
+        interrupted run had already ingested."""
+        source = PushSource(batch_size=4, capacity_batches=1)
+        source.resume_at(8, 2)
+        # One chunk straddling the resume boundary, too big to buffer:
+        # 8 skipped + 5 kept > the 4-tuple capacity.
+        with pytest.raises(PushBacklogFull):
+            source.push(_column(range(13)), _column(range(13)))
+        assert source.skipped_tuples == 0  # nothing consumed by the reject
+        assert source.pending_tuples == 0
+        # The client splits the same range into smaller chunks: the skip
+        # prefix must still swallow exactly the committed 8 tuples.
+        assert source.push(_column(range(8)), _column(range(8))) == 0
+        assert source.push(_column(range(8, 12)), _column(range(8, 12))) == 4
+        assert source.skipped_tuples == 8
+        assert source.batch(2)[0].tolist() == [8, 9, 10, 11]
+
+    def test_resume_drained_restores_closed_tail(self):
+        source = PushSource(batch_size=4)
+        source.resume_drained(6, 2)  # off-grid: the closed stream's tail
+        assert source.closed
+        assert source.end_of_stream
+        assert source.batch(2) is None  # serves as drained, no replay
+        with pytest.raises(ValueError, match="close"):
+            source.push(_column([1]), _column([1]))
+
+    def test_resume_drained_rejects_impossible_tails(self):
+        for cursor, batch_index in ((4, 2), (9, 2), (1, 0), (-1, 0)):
+            with pytest.raises(ValueError, match="tail"):
+                PushSource(batch_size=4).resume_drained(cursor, batch_index)
+        used = PushSource(batch_size=4)
+        used.push(_column([1]), _column([1]))
+        with pytest.raises(ValueError, match="already served"):
+            used.resume_drained(4, 1)
+
+    def test_end_of_stream_only_after_close_and_drain(self):
+        source = PushSource(batch_size=4)
+        source.push(_column(range(6)), _column(range(6)))
+        assert not source.end_of_stream
+        source.close()
+        assert not source.end_of_stream  # two batches still buffered
+        source.batch(0)
+        source.batch(1)  # the short tail
+        assert source.end_of_stream
+
 
 class TestServiceCore:
     def test_unknown_profile_selection_rejected(self, registry):
@@ -382,6 +430,67 @@ class TestDurability:
                 ),
                 checkpoint_dir=str(tmp_path),
             )
+
+    def test_push_restart_after_partial_final_batch(self, registry, tmp_path):
+        """Restarting a push service whose stream ended on a short final
+        batch must serve the checkpoint as drained — the regression was a
+        ValueError from resume_at's grid check at construction, leaving the
+        service permanently unable to start against its own checkpoints."""
+        config = ServeConfig(
+            source="push:capacity=4", batch_size=4, num_bitmaps=8
+        )
+        lhs, rhs = generate_stream("uniform", 21, 6)  # 4 + a 2-tuple tail
+        service = ImplicationService(
+            config, profiles={"case": small_conditions()},
+            checkpoint_dir=str(tmp_path),
+        )
+        service.source.push(lhs, rhs)
+        service.source.close()
+        while service.ingest_step():
+            pass
+        assert service.cursor == 6
+        want = service.store.get("case").digest
+        del service
+
+        resumed = ImplicationService(
+            config, profiles={"case": small_conditions()},
+            checkpoint_dir=str(tmp_path),
+        )
+        assert resumed.restored_generation is not None
+        assert resumed.cursor == 6
+        assert resumed.store.status == "drained"
+        assert resumed.store.get("case").digest == want
+        # The stream is over: a run drains immediately, no replay expected.
+        assert resumed.ingest_step() is False
+        assert resumed.store.get("case").digest == want
+
+    def test_push_restart_after_on_grid_drain(self, registry, tmp_path):
+        """Same story when the stream happened to end exactly on the batch
+        grid: the recorded end-of-stream marker (not the cursor's
+        off-grid-ness) is what flips the restore to drained."""
+        config = ServeConfig(
+            source="push:capacity=4", batch_size=4, num_bitmaps=8
+        )
+        lhs, rhs = generate_stream("uniform", 22, 8)
+        service = ImplicationService(
+            config, profiles={"case": small_conditions()},
+            checkpoint_dir=str(tmp_path),
+        )
+        service.source.push(lhs, rhs)
+        service.source.close()
+        while service.ingest_step():
+            pass
+        want = service.store.get("case").digest
+        del service
+
+        resumed = ImplicationService(
+            config, profiles={"case": small_conditions()},
+            checkpoint_dir=str(tmp_path),
+        )
+        assert resumed.cursor == 8
+        assert resumed.store.status == "drained"
+        assert resumed.ingest_step() is False
+        assert resumed.store.get("case").digest == want
 
     def test_restored_metrics_fold_into_registry(self, registry, tmp_path):
         config = ServeConfig(
@@ -581,6 +690,44 @@ class TestHTTPEndpoints:
         status, body, _ = get(port, "/snapshot?profile=strict&window=maybe")
         assert status == 400
         assert b"window" in body
+
+    def test_bare_window_flag_selects_the_flag(self, served):
+        """A valueless ``?window`` is a documented truthy spelling — the
+        regression dropped blank params before _parse_flag ever saw them,
+        so a bare flag silently read the landmark view."""
+        _, port, _ = served
+        for path in (
+            "/snapshot?profile=strict&window",
+            "/snapshot?profile=strict&window=",
+            "/query?profile=strict&window",
+        ):
+            status, body, _ = get(port, path)
+            assert status == 400, path  # windowing is off on this service
+            assert b"--window" in body, path
+
+    def test_malformed_content_length_answers_400(self, served):
+        """Both front-ends must answer a clean 400 — the threaded handler
+        used to let int() raise out of _handle, dumping a socketserver
+        traceback and aborting the connection."""
+        _, port, _ = served
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /ingest HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: abc\r\n\r\n"
+            )
+            sock.settimeout(10)
+            chunks = []
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not data:
+                    break
+                chunks.append(data)
+        reply = b"".join(chunks)
+        assert reply.startswith(b"HTTP/1.1 400"), reply
+        assert b"Content-Length" in reply
 
     def test_windowed_snapshot_refused_without_window(self, served):
         """A landmark-only service must refuse ``/snapshot?window=1``
@@ -815,6 +962,17 @@ class TestPushIngestHTTP:
         service, port = pushable
         assert post(port, "/ingest?close=1", b"not json")[0] == 400
         assert not service.source.closed
+
+    def test_bare_close_flag_closes_stream(self, pushable):
+        """``POST /ingest?close`` with no value is the documented bare
+        spelling — it must close, not be silently dropped by the parse."""
+        service, port = pushable
+        status, body, _ = post(
+            port, "/ingest?close", b'{"lhs": [7], "rhs": [9]}'
+        )
+        assert status == 200
+        assert json.loads(body)["closed"]
+        assert service.source.closed
 
     def test_oversized_body_refused(self, pushable):
         from repro.serving.http import MAX_INGEST_BODY
